@@ -1,0 +1,27 @@
+//! Criterion benches: end-to-end figure regeneration at Tiny scale.
+//!
+//! `cargo bench -p ff-bench` exercises every experiment driver; the
+//! publication-scale tables come from the `fig6`/`fig7`/`fig8` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ff_bench::experiments;
+use ff_workloads::Scale;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/tiny");
+    group.sample_size(10);
+    group.bench_function("fig6", |b| b.iter(|| experiments::fig6(Scale::Tiny)));
+    group.bench_function("fig7", |b| b.iter(|| experiments::fig7(Scale::Tiny)));
+    group.bench_function("fig8", |b| b.iter(|| experiments::fig8(Scale::Tiny)));
+    group.bench_function("branch_stats", |b| b.iter(|| experiments::branch_stats(Scale::Tiny)));
+    group.bench_function("conflict_stats", |b| {
+        b.iter(|| experiments::conflict_stats(Scale::Tiny))
+    });
+    group.bench_function("runahead_compare", |b| {
+        b.iter(|| experiments::runahead_compare(Scale::Tiny))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

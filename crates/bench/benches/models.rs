@@ -1,0 +1,36 @@
+//! Criterion benches: simulator throughput for each pipeline model.
+//!
+//! These measure *simulation speed* (host time per simulated workload),
+//! complementing the figure binaries that measure *simulated cycles*.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ff_core::{Baseline, MachineConfig, Runahead, TwoPass};
+use ff_workloads::{benchmark_by_name, Scale};
+
+fn bench_models(c: &mut Criterion) {
+    let w = benchmark_by_name("mcf-like", Scale::Tiny).expect("built-in benchmark");
+    let cfg = MachineConfig::paper_table1();
+    let mut group = c.benchmark_group("models/mcf-like-tiny");
+    group.sample_size(10);
+
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            Baseline::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget)
+        })
+    });
+    group.bench_function("two_pass", |b| {
+        b.iter(|| TwoPass::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget))
+    });
+    group.bench_function("two_pass_regroup", |b| {
+        let mut re = cfg.clone();
+        re.two_pass.regroup = true;
+        b.iter(|| TwoPass::new(&w.program, w.memory.clone(), re.clone()).run(w.budget))
+    });
+    group.bench_function("runahead", |b| {
+        b.iter(|| Runahead::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

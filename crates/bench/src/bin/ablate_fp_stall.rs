@@ -1,0 +1,36 @@
+//! §4 stall-on-anticipable-FP ablation: the remedy the paper suggests
+//! for 175.vpr's wholesale FP-chain deferral.
+
+use ff_bench::{experiments, fmt, parse_args};
+
+fn main() {
+    let (scale, json) = parse_args();
+    let rows = experiments::fp_stall_ablation(scale, &["vpr-like", "equake-like"]);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+        return;
+    }
+    println!("Stall-on-anticipable-FP policy ablation ({scale:?} scale)\n");
+    fmt::header(&[
+        ("benchmark", 14),
+        ("defer-cyc", 10),
+        ("stall-cyc", 10),
+        ("speedup", 8),
+        ("fp-def", 8),
+        ("fp-def'", 8),
+        ("fp-rate", 8),
+    ]);
+    for r in &rows {
+        println!(
+            "{:>14}  {:>10}  {:>10}  {:>8}  {:>8}  {:>8}  {:>8}",
+            r.benchmark,
+            r.defer_cycles,
+            r.stall_cycles,
+            fmt::ratio(r.defer_cycles as f64 / r.stall_cycles as f64),
+            r.defer_fp_deferred,
+            r.stall_fp_deferred,
+            fmt::pct(r.defer_fp_rate),
+        );
+    }
+    println!("\n(paper: vpr defers 98% of its FP instructions in chains; stalling on these anticipable latencies is advisable)");
+}

@@ -1,0 +1,48 @@
+//! Predictor ablation: how sensitive are the baseline and two-pass
+//! machines to branch-prediction quality? The two-pass machine pays more
+//! per late-resolved misprediction (B-DET), so better prediction helps
+//! it disproportionately on branchy code.
+
+use ff_bench::{fmt, parse_args};
+use ff_core::{Baseline, MachineConfig, TwoPass};
+use ff_predict::PredictorConfig;
+use ff_workloads::benchmark_by_name;
+
+fn main() {
+    let (scale, _json) = parse_args();
+    println!("Branch-predictor ablation ({scale:?} scale)\n");
+    fmt::header(&[
+        ("benchmark", 14),
+        ("predictor", 22),
+        ("base-cyc", 10),
+        ("2P-cyc", 10),
+        ("2P-norm", 8),
+        ("mispred%", 9),
+    ]);
+    let predictors: [(&str, PredictorConfig); 5] = [
+        ("static-NT", PredictorConfig::StaticNotTaken),
+        ("bimodal-1k", PredictorConfig::Bimodal { bits: 10 }),
+        ("gshare-1k (paper)", PredictorConfig::paper_table1()),
+        ("local-1k", PredictorConfig::Local { bits: 10, history_bits: 10 }),
+        ("tournament-1k", PredictorConfig::Tournament { bits: 10 }),
+    ];
+    for name in ["099.go", "300.twolf", "181.mcf"] {
+        let w = benchmark_by_name(name, scale).expect("built-in benchmark");
+        for (label, pred) in predictors {
+            let mut cfg = MachineConfig::paper_table1();
+            cfg.predictor = pred;
+            let base = Baseline::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget);
+            let tp = TwoPass::new(&w.program, w.memory.clone(), cfg).run(w.budget);
+            println!(
+                "{:>14}  {:>22}  {:>10}  {:>10}  {:>8}  {:>9}",
+                w.name,
+                label,
+                base.cycles,
+                tp.cycles,
+                fmt::ratio(tp.cycles as f64 / base.cycles as f64),
+                fmt::pct(tp.branches.mispredict_rate()),
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,36 @@
+//! §3.1 coupling-queue size ablation: "the results were not particularly
+//! sensitive to reasonable variations in this parameter" around 64.
+
+use ff_bench::{experiments, fmt, parse_args};
+
+fn main() {
+    let (scale, json) = parse_args();
+    let rows = experiments::queue_sweep(scale, &["mcf-like", "compress-like", "equake-like", "li-like"]);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+        return;
+    }
+    println!("Coupling-queue size sweep ({scale:?} scale)\n");
+    println!("(compress/equake/li vary smoothly around 64, as the paper reports; mcf-like");
+    println!(" shows a deterministic phase effect of queue-full backpressure — see EXPERIMENTS.md)\n");
+    fmt::header(&[
+        ("benchmark", 14),
+        ("size", 5),
+        ("cycles", 10),
+        ("vs 64", 6),
+        ("full-stalls", 12),
+    ]);
+    for r in &rows {
+        println!(
+            "{:>14}  {:>5}  {:>10}  {:>6}  {:>12}",
+            r.benchmark,
+            r.size,
+            r.cycles,
+            fmt::ratio(r.normalized),
+            r.queue_full_cycles,
+        );
+        if r.size == 256 {
+            println!();
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! §3.5 future-work ablation: A-pipe issue moderation under heavy
+//! deferral ("a matter for future investigation" in the paper).
+
+use ff_bench::{fmt, parse_args};
+use ff_core::{MachineConfig, ThrottleConfig, TwoPass};
+use ff_workloads::paper_benchmarks;
+
+fn main() {
+    let (scale, json) = parse_args();
+    println!("A-pipe deferral throttle ablation ({scale:?} scale)\n");
+    fmt::header(&[
+        ("benchmark", 14),
+        ("plain-cyc", 10),
+        ("thrl-cyc", 10),
+        ("delta", 7),
+        ("thrl-cycles", 12),
+        ("avg-occ", 8),
+        ("occ'", 8),
+    ]);
+    let mut rows = Vec::new();
+    for w in paper_benchmarks(scale) {
+        let plain_cfg = MachineConfig::paper_table1();
+        let mut t_cfg = plain_cfg.clone();
+        t_cfg.two_pass.throttle =
+            Some(ThrottleConfig { window: 32, defer_threshold: 0.5, resume_occupancy: 8 });
+        let plain = TwoPass::new(&w.program, w.memory.clone(), plain_cfg).run(w.budget);
+        let thr = TwoPass::new(&w.program, w.memory.clone(), t_cfg).run(w.budget);
+        let ps = plain.two_pass.expect("stats");
+        let ts = thr.two_pass.expect("stats");
+        let row = serde_json::json!({
+            "benchmark": w.name,
+            "plain_cycles": plain.cycles,
+            "throttled_cycles_total": thr.cycles,
+            "throttle_engaged_cycles": ts.throttled_cycles,
+        });
+        rows.push(row);
+        println!(
+            "{:>14}  {:>10}  {:>10}  {:>7}  {:>12}  {:>8.1}  {:>8.1}",
+            w.name,
+            plain.cycles,
+            thr.cycles,
+            fmt::ratio(thr.cycles as f64 / plain.cycles as f64),
+            ts.throttled_cycles,
+            ps.queue_occupancy_sum as f64 / plain.cycles as f64,
+            ts.queue_occupancy_sum as f64 / thr.cycles as f64,
+        );
+    }
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("rows"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 6: normalized execution cycles (base / 2P / 2Pre) with the
+//! six-class cycle breakdown, for all ten benchmarks.
+
+use ff_bench::{experiments, fmt, parse_args};
+
+fn main() {
+    let (scale, json) = parse_args();
+    let rows = experiments::fig6(scale);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+        return;
+    }
+    println!("Figure 6 — normalized execution cycles ({scale:?} scale)\n");
+    fmt::header(&[
+        ("benchmark", 14),
+        ("model", 5),
+        ("norm", 6),
+        ("unstall", 8),
+        ("load", 7),
+        ("nonload", 8),
+        ("resrc", 6),
+        ("front", 6),
+        ("a-pipe", 6),
+        ("cycles", 10),
+    ]);
+    for r in &rows {
+        println!(
+            "{:>14}  {:>5}  {:>6}  {:>8}  {:>7}  {:>8}  {:>6}  {:>6}  {:>6}  {:>10}",
+            r.benchmark,
+            r.model,
+            fmt::ratio(r.normalized),
+            fmt::pct(r.class_fractions[0]),
+            fmt::pct(r.class_fractions[1]),
+            fmt::pct(r.class_fractions[2]),
+            fmt::pct(r.class_fractions[3]),
+            fmt::pct(r.class_fractions[4]),
+            fmt::pct(r.class_fractions[5]),
+            r.cycles,
+        );
+        if r.model == "2Pre" {
+            println!();
+        }
+    }
+    // Paper headline: 2Pre averages 1.08x over 2P; mcf-like sees a large
+    // overall cycle reduction.
+    let mut tp_sum = 0.0;
+    let mut re_sum = 0.0;
+    let mut n = 0.0;
+    for chunk in rows.chunks(3) {
+        tp_sum += chunk[1].normalized;
+        re_sum += chunk[2].normalized;
+        n += 1.0;
+    }
+    println!(
+        "mean normalized cycles: 2P={:.3}  2Pre={:.3}  (2Pre speedup over 2P: {:.3}x)",
+        tp_sum / n,
+        re_sum / n,
+        tp_sum / re_sum
+    );
+}

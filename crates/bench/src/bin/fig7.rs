@@ -1,0 +1,43 @@
+//! Figure 7: distribution of initiated access cycles by pipe (A/B) and
+//! servicing cache level, scaled by effective latency.
+
+use ff_bench::{experiments, parse_args};
+
+fn main() {
+    let (scale, json) = parse_args();
+    let rows = experiments::fig7(scale);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+        return;
+    }
+    println!("Figure 7 — initiated access cycles by pipe and level ({scale:?} scale)\n");
+    println!(
+        "{:>14} {:>5} | {:>9} {:>9} {:>9} {:>10} | {:>9} {:>9} {:>9} {:>10} | {:>6}",
+        "benchmark", "model", "A/L1", "A/L2", "A/L3", "A/Mem", "B/L1", "B/L2", "B/L3", "B/Mem",
+        "A-frac"
+    );
+    println!("{}", "-".repeat(132));
+    for r in &rows {
+        let a: u64 = r.cells[0].iter().sum();
+        let b: u64 = r.cells[1].iter().sum();
+        let total = (a + b).max(1);
+        println!(
+            "{:>14} {:>5} | {:>9} {:>9} {:>9} {:>10} | {:>9} {:>9} {:>9} {:>10} | {:>5.1}%",
+            r.benchmark,
+            r.model,
+            r.cells[0][0],
+            r.cells[0][1],
+            r.cells[0][2],
+            r.cells[0][3],
+            r.cells[1][0],
+            r.cells[1][1],
+            r.cells[1][2],
+            r.cells[1][3],
+            100.0 * a as f64 / total as f64,
+        );
+        if r.model == "2Pre" {
+            println!();
+        }
+    }
+    println!("(paper: for most benchmarks the majority of access latency is initiated in the A-pipe)");
+}

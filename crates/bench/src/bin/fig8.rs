@@ -1,0 +1,38 @@
+//! Figure 8: effect of the B→A committed-result feedback latency on
+//! deferral counts and runtime, swept over {1, 2, 4, 8, inf} cycles for
+//! three benchmarks.
+
+use ff_bench::{experiments, fmt, parse_args};
+
+fn main() {
+    let (scale, json) = parse_args();
+    let rows = experiments::fig8(scale);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+        return;
+    }
+    println!("Figure 8 — B→A feedback latency sweep ({scale:?} scale)\n");
+    fmt::header(&[
+        ("benchmark", 14),
+        ("latency", 8),
+        ("cycles", 10),
+        ("norm", 6),
+        ("deferred", 10),
+        ("defer%", 7),
+    ]);
+    for r in &rows {
+        println!(
+            "{:>14}  {:>8}  {:>10}  {:>6}  {:>10}  {:>7}",
+            r.benchmark,
+            r.latency,
+            r.cycles,
+            fmt::ratio(r.normalized),
+            r.deferred,
+            fmt::pct(r.deferral_rate),
+        );
+        if r.latency == "inf" {
+            println!();
+        }
+    }
+    println!("(paper: tolerant of moderate latency, especially up to ~4 cycles; 'inf' inflates deferral)");
+}

@@ -1,0 +1,33 @@
+//! §2 comparison: idealized checkpoint runahead vs two-pass pipelining.
+//! Runahead discards its pre-executed work; two-pass keeps it.
+
+use ff_bench::{experiments, fmt, parse_args};
+
+fn main() {
+    let (scale, json) = parse_args();
+    let rows = experiments::runahead_compare(scale);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+        return;
+    }
+    println!("Runahead vs two-pass ({scale:?} scale)\n");
+    fmt::header(&[
+        ("benchmark", 14),
+        ("base", 10),
+        ("runahead", 10),
+        ("2P", 10),
+        ("RA-spdup", 9),
+        ("2P-spdup", 9),
+    ]);
+    for r in &rows {
+        println!(
+            "{:>14}  {:>10}  {:>10}  {:>10}  {:>9}  {:>9}",
+            r.benchmark,
+            r.base_cycles,
+            r.runahead_cycles,
+            r.two_pass_cycles,
+            fmt::ratio(r.runahead_speedup),
+            fmt::ratio(r.two_pass_speedup),
+        );
+    }
+}

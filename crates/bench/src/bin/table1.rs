@@ -1,0 +1,59 @@
+//! Table 1: the experimental machine configuration.
+
+use ff_core::MachineConfig;
+
+fn main() {
+    let c = MachineConfig::paper_table1();
+    println!("Table 1 — experimental machine configuration\n");
+    let rows: Vec<(&str, String)> = vec![
+        (
+            "Functional Units",
+            format!(
+                "{}-issue, {} ALU, {} Memory, {} FP, {} Branch",
+                c.issue_width, c.fu_slots.alu, c.fu_slots.mem, c.fu_slots.fp, c.fu_slots.branch
+            ),
+        ),
+        ("L1I Cache", "2 cycle, 16KB, 4-way, 64B lines (modeled pipelined)".to_string()),
+        (
+            "L1D Cache",
+            format!(
+                "{} cycle, {}KB, {}-way, {}B lines",
+                c.hierarchy.l1_latency,
+                c.hierarchy.l1.size_bytes / 1024,
+                c.hierarchy.l1.ways,
+                c.hierarchy.l1.line_bytes
+            ),
+        ),
+        (
+            "L2 Cache",
+            format!(
+                "{} cycles, {}KB, {}-way, {}B lines",
+                c.hierarchy.l2_latency,
+                c.hierarchy.l2.size_bytes / 1024,
+                c.hierarchy.l2.ways,
+                c.hierarchy.l2.line_bytes
+            ),
+        ),
+        (
+            "L3 Cache",
+            format!(
+                "{} cycles, {}MB (x0.5), {}-way, {}B lines",
+                c.hierarchy.l3_latency,
+                c.hierarchy.l3.size_bytes as f64 / (1024.0 * 1024.0),
+                c.hierarchy.l3.ways,
+                c.hierarchy.l3.line_bytes
+            ),
+        ),
+        ("Max Outstanding Loads", format!("{}", c.max_outstanding_loads)),
+        ("Main memory", format!("{} cycles", c.hierarchy.mem_latency)),
+        ("Branch Predictor", format!("{:?}", c.predictor)),
+        ("Two-pass Coupling Queue", format!("{} entry", c.two_pass.queue_size)),
+        ("Two-pass ALAT", format!("{:?}", c.two_pass.alat)),
+        ("A-DET redirect penalty", format!("{} cycles", c.adet_penalty())),
+        ("B-DET redirect penalty", format!("{} cycles", c.bdet_penalty())),
+        ("B->A feedback latency", format!("{:?}", c.two_pass.feedback_latency)),
+    ];
+    for (k, v) in rows {
+        println!("{k:<26} {v}");
+    }
+}

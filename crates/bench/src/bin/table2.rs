@@ -1,0 +1,27 @@
+//! Table 2: benchmarks, inputs (synthetic kernels here), and dynamic
+//! instruction counts.
+
+use ff_bench::parse_args;
+use ff_isa::ArchState;
+use ff_workloads::paper_benchmarks;
+
+fn main() {
+    let (scale, _) = parse_args();
+    println!("Table 2 — benchmarks and dynamic instruction counts ({scale:?} scale)\n");
+    println!(
+        "{:<14} {:<12} {:>13}  {}",
+        "Benchmark", "Stands for", "Instructions", "Synthetic input"
+    );
+    println!("{}", "-".repeat(100));
+    for w in paper_benchmarks(scale) {
+        let mut interp = ArchState::new(&w.program, w.memory.clone());
+        interp.run(w.budget);
+        println!(
+            "{:<14} {:<12} {:>13}  {}",
+            w.spec_ref,
+            w.name,
+            interp.instr_count(),
+            w.description
+        );
+    }
+}

@@ -1,0 +1,427 @@
+//! Experiment drivers: one function per paper table/figure, returning
+//! typed rows the binaries format (or dump as JSON).
+
+use ff_core::{
+    Baseline, CycleClass, FeedbackLatency, MachineConfig, ModelKind, Pipe, Runahead, SimReport,
+    TwoPass,
+};
+use ff_mem::MemLevel;
+use ff_workloads::{paper_benchmarks, Scale, Workload};
+use serde::Serialize;
+
+/// Reports for one workload across the three paper machines.
+#[derive(Debug, Clone)]
+pub struct ModelSet {
+    /// The workload's name.
+    pub benchmark: &'static str,
+    /// Traditional in-order EPIC (`base`).
+    pub base: SimReport,
+    /// Two-pass (`2P`).
+    pub two_pass: SimReport,
+    /// Two-pass with regrouping (`2Pre`).
+    pub regroup: SimReport,
+}
+
+/// Runs one workload on base, 2P, and 2Pre with the Table 1 machine.
+#[must_use]
+pub fn run_all_models(w: &Workload) -> ModelSet {
+    let cfg = MachineConfig::paper_table1();
+    let mut re_cfg = cfg.clone();
+    re_cfg.two_pass.regroup = true;
+    ModelSet {
+        benchmark: w.name,
+        base: Baseline::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget),
+        two_pass: TwoPass::new(&w.program, w.memory.clone(), cfg).run(w.budget),
+        regroup: TwoPass::new(&w.program, w.memory.clone(), re_cfg).run(w.budget),
+    }
+}
+
+// ---- Figure 6 ----------------------------------------------------------
+
+/// One bar of Figure 6: a (benchmark, model) pair's normalized cycles
+/// with the six-class breakdown.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6Row {
+    /// Kernel name.
+    pub benchmark: String,
+    /// `base`, `2P`, or `2Pre`.
+    pub model: String,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Cycles normalized to the baseline run of the same benchmark.
+    pub normalized: f64,
+    /// Fraction of cycles in each [`CycleClass`] (display order).
+    pub class_fractions: [f64; 6],
+    /// Retired instructions (identical across models by construction).
+    pub retired: u64,
+}
+
+fn fig6_row(benchmark: &str, r: &SimReport, base_cycles: u64) -> Fig6Row {
+    let mut class_fractions = [0.0; 6];
+    for (i, class) in CycleClass::ALL.iter().enumerate() {
+        class_fractions[i] = r.breakdown.fraction(*class);
+    }
+    Fig6Row {
+        benchmark: benchmark.to_string(),
+        model: r.model.to_string(),
+        cycles: r.cycles,
+        normalized: r.cycles as f64 / base_cycles as f64,
+        class_fractions,
+        retired: r.retired,
+    }
+}
+
+/// Figure 6: normalized execution cycles for base/2P/2Pre on all ten
+/// benchmarks.
+#[must_use]
+pub fn fig6(scale: Scale) -> Vec<Fig6Row> {
+    let mut rows = Vec::new();
+    for w in paper_benchmarks(scale) {
+        let set = run_all_models(&w);
+        rows.push(fig6_row(w.name, &set.base, set.base.cycles));
+        rows.push(fig6_row(w.name, &set.two_pass, set.base.cycles));
+        rows.push(fig6_row(w.name, &set.regroup, set.base.cycles));
+    }
+    rows
+}
+
+// ---- Figure 7 ----------------------------------------------------------
+
+/// One bar of Figure 7: latency-weighted initiated access cycles by pipe
+/// and service level.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7Row {
+    /// Kernel name.
+    pub benchmark: String,
+    /// `base`, `2P`, or `2Pre`.
+    pub model: String,
+    /// `cells[pipe][level]`: initiated access cycles (A=0, B=1; levels
+    /// L1, L2, L3, Mem).
+    pub cells: [[u64; 4]; 2],
+    /// Loads initiated per pipe.
+    pub loads: [u64; 2],
+}
+
+fn fig7_row(benchmark: &str, r: &SimReport) -> Fig7Row {
+    Fig7Row {
+        benchmark: benchmark.to_string(),
+        model: r.model.to_string(),
+        cells: r.mem.load_latency_cycles,
+        loads: [r.mem.loads_in(Pipe::A), r.mem.loads_in(Pipe::B)],
+    }
+}
+
+/// Figure 7: distribution of initiated access cycles.
+#[must_use]
+pub fn fig7(scale: Scale) -> Vec<Fig7Row> {
+    let mut rows = Vec::new();
+    for w in paper_benchmarks(scale) {
+        let set = run_all_models(&w);
+        rows.push(fig7_row(w.name, &set.base));
+        rows.push(fig7_row(w.name, &set.two_pass));
+        rows.push(fig7_row(w.name, &set.regroup));
+    }
+    rows
+}
+
+// ---- Figure 8 ----------------------------------------------------------
+
+/// The latencies Figure 8 sweeps.
+pub const FIG8_LATENCIES: [FeedbackLatency; 5] = [
+    FeedbackLatency::Cycles(1),
+    FeedbackLatency::Cycles(2),
+    FeedbackLatency::Cycles(4),
+    FeedbackLatency::Cycles(8),
+    FeedbackLatency::Infinite,
+];
+
+/// The paper evaluates the feedback path on three benchmarks.
+pub const FIG8_BENCHMARKS: [&str; 3] = ["mcf-like", "equake-like", "twolf-like"];
+
+/// One point of Figure 8.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8Row {
+    /// Kernel name.
+    pub benchmark: String,
+    /// Feedback latency label (`"1"`, ..., `"inf"`).
+    pub latency: String,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Cycles normalized to the 1-cycle-feedback run.
+    pub normalized: f64,
+    /// Instructions deferred to the B-pipe.
+    pub deferred: u64,
+    /// Deferred / dispatched.
+    pub deferral_rate: f64,
+}
+
+/// Figure 8: effect of B→A feedback latency on deferral and runtime.
+#[must_use]
+pub fn fig8(scale: Scale) -> Vec<Fig8Row> {
+    let mut rows = Vec::new();
+    for name in FIG8_BENCHMARKS {
+        let w = ff_workloads::benchmark_by_name(name, scale).expect("built-in benchmark");
+        let mut base_cycles = None;
+        for lat in FIG8_LATENCIES {
+            let mut cfg = MachineConfig::paper_table1();
+            cfg.two_pass.feedback_latency = lat;
+            let r = TwoPass::new(&w.program, w.memory.clone(), cfg).run(w.budget);
+            let tp = r.two_pass.expect("two-pass stats");
+            let base = *base_cycles.get_or_insert(r.cycles);
+            rows.push(Fig8Row {
+                benchmark: w.name.to_string(),
+                latency: match lat {
+                    FeedbackLatency::Cycles(c) => c.to_string(),
+                    FeedbackLatency::Infinite => "inf".to_string(),
+                },
+                cycles: r.cycles,
+                normalized: r.cycles as f64 / base as f64,
+                deferred: tp.deferred,
+                deferral_rate: tp.deferral_rate(),
+            });
+        }
+    }
+    rows
+}
+
+// ---- §4 branch statistics ----------------------------------------------
+
+/// Branch-resolution split for one benchmark (paper: 32% A / 68% B on
+/// average).
+#[derive(Debug, Clone, Serialize)]
+pub struct BranchRow {
+    /// Kernel name.
+    pub benchmark: String,
+    /// Conditional branches retired.
+    pub retired: u64,
+    /// Mispredictions.
+    pub mispredicted: u64,
+    /// Misprediction rate.
+    pub rate: f64,
+    /// Fraction of mispredictions repaired at A-DET.
+    pub repaired_in_a_frac: f64,
+    /// Fraction repaired at B-DET.
+    pub repaired_in_b_frac: f64,
+}
+
+/// Misprediction-split statistics on the two-pass machine.
+#[must_use]
+pub fn branch_stats(scale: Scale) -> Vec<BranchRow> {
+    let cfg = MachineConfig::paper_table1();
+    paper_benchmarks(scale)
+        .iter()
+        .map(|w| {
+            let r = TwoPass::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget);
+            let b = r.branches;
+            BranchRow {
+                benchmark: w.name.to_string(),
+                retired: b.retired,
+                mispredicted: b.mispredicted,
+                rate: b.mispredict_rate(),
+                repaired_in_a_frac: b.a_repair_fraction(),
+                repaired_in_b_frac: if b.mispredicted == 0 {
+                    0.0
+                } else {
+                    b.repaired_in_b as f64 / b.mispredicted as f64
+                },
+            }
+        })
+        .collect()
+}
+
+// ---- §4 store-conflict statistics ----------------------------------------
+
+/// Store-conflict exposure for one benchmark (paper: 97% of risky loads
+/// clean; 1.6% of stores cause conflict flushes).
+#[derive(Debug, Clone, Serialize)]
+pub struct ConflictRow {
+    /// Kernel name.
+    pub benchmark: String,
+    /// A-pipe loads initiated while a deferred store was queued.
+    pub risky_loads: u64,
+    /// Fraction of those that never conflicted.
+    pub risky_clean_frac: f64,
+    /// Store-conflict flushes taken.
+    pub conflict_flushes: u64,
+    /// Stores retired.
+    pub stores_retired: u64,
+    /// Conflict flushes per retired store.
+    pub flushes_per_store: f64,
+}
+
+/// Store-conflict statistics on the two-pass machine.
+#[must_use]
+pub fn conflict_stats(scale: Scale) -> Vec<ConflictRow> {
+    let cfg = MachineConfig::paper_table1();
+    paper_benchmarks(scale)
+        .iter()
+        .map(|w| {
+            let r = TwoPass::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget);
+            let tp = r.two_pass.expect("two-pass stats");
+            ConflictRow {
+                benchmark: w.name.to_string(),
+                risky_loads: tp.loads_past_deferred_store,
+                risky_clean_frac: tp.risky_load_clean_fraction(),
+                conflict_flushes: tp.store_conflict_flushes,
+                stores_retired: tp.stores_retired,
+                flushes_per_store: if tp.stores_retired == 0 {
+                    0.0
+                } else {
+                    tp.store_conflict_flushes as f64 / tp.stores_retired as f64
+                },
+            }
+        })
+        .collect()
+}
+
+// ---- §3.1 queue-size ablation ---------------------------------------------
+
+/// One point of the coupling-queue size sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct QueueRow {
+    /// Kernel name.
+    pub benchmark: String,
+    /// Queue capacity.
+    pub size: usize,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Normalized to the 64-entry (paper) configuration.
+    pub normalized: f64,
+    /// Cycles the A-pipe spent blocked on a full queue.
+    pub queue_full_cycles: u64,
+}
+
+/// Queue sizes swept by the ablation.
+pub const QUEUE_SIZES: [usize; 5] = [16, 32, 64, 128, 256];
+
+/// §3.1: "results were not particularly sensitive to reasonable
+/// variations" of the 64-entry queue.
+#[must_use]
+pub fn queue_sweep(scale: Scale, benchmarks: &[&str]) -> Vec<QueueRow> {
+    let mut rows = Vec::new();
+    for name in benchmarks {
+        let w = ff_workloads::benchmark_by_name(name, scale).expect("built-in benchmark");
+        let reference = {
+            let cfg = MachineConfig::paper_table1();
+            TwoPass::new(&w.program, w.memory.clone(), cfg).run(w.budget).cycles
+        };
+        for size in QUEUE_SIZES {
+            let mut cfg = MachineConfig::paper_table1();
+            cfg.two_pass.queue_size = size;
+            let r = TwoPass::new(&w.program, w.memory.clone(), cfg).run(w.budget);
+            let tp = r.two_pass.expect("two-pass stats");
+            rows.push(QueueRow {
+                benchmark: w.name.to_string(),
+                size,
+                cycles: r.cycles,
+                normalized: r.cycles as f64 / reference as f64,
+                queue_full_cycles: tp.queue_full_cycles,
+            });
+        }
+    }
+    rows
+}
+
+// ---- §4 stall-on-FP ablation -----------------------------------------------
+
+/// Effect of stalling the A-pipe on anticipable FP latencies.
+#[derive(Debug, Clone, Serialize)]
+pub struct FpStallRow {
+    /// Kernel name.
+    pub benchmark: String,
+    /// Cycles with the default (defer-everything) policy.
+    pub defer_cycles: u64,
+    /// Cycles with stall-on-anticipable-FP.
+    pub stall_cycles: u64,
+    /// FP operations deferred under each policy.
+    pub defer_fp_deferred: u64,
+    /// FP operations deferred when stalling.
+    pub stall_fp_deferred: u64,
+    /// FP deferral rate under the default policy.
+    pub defer_fp_rate: f64,
+}
+
+/// §4: the policy fix the paper suggests for 175.vpr.
+#[must_use]
+pub fn fp_stall_ablation(scale: Scale, benchmarks: &[&str]) -> Vec<FpStallRow> {
+    let mut rows = Vec::new();
+    for name in benchmarks {
+        let w = ff_workloads::benchmark_by_name(name, scale).expect("built-in benchmark");
+        let plain_cfg = MachineConfig::paper_table1();
+        let mut stall_cfg = plain_cfg.clone();
+        stall_cfg.two_pass.stall_on_anticipable_fp = true;
+        let plain = TwoPass::new(&w.program, w.memory.clone(), plain_cfg).run(w.budget);
+        let stall = TwoPass::new(&w.program, w.memory.clone(), stall_cfg).run(w.budget);
+        let ptp = plain.two_pass.expect("two-pass stats");
+        let stp = stall.two_pass.expect("two-pass stats");
+        rows.push(FpStallRow {
+            benchmark: w.name.to_string(),
+            defer_cycles: plain.cycles,
+            stall_cycles: stall.cycles,
+            defer_fp_deferred: ptp.fp_deferred,
+            stall_fp_deferred: stp.fp_deferred,
+            defer_fp_rate: if ptp.fp_retired == 0 {
+                0.0
+            } else {
+                ptp.fp_deferred as f64 / ptp.fp_retired as f64
+            },
+        });
+    }
+    rows
+}
+
+// ---- §2 runahead comparison ---------------------------------------------
+
+/// Baseline vs runahead vs two-pass on one benchmark.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunaheadRow {
+    /// Kernel name.
+    pub benchmark: String,
+    /// Baseline cycles.
+    pub base_cycles: u64,
+    /// Runahead cycles.
+    pub runahead_cycles: u64,
+    /// Two-pass cycles.
+    pub two_pass_cycles: u64,
+    /// Runahead speedup over baseline.
+    pub runahead_speedup: f64,
+    /// Two-pass speedup over baseline.
+    pub two_pass_speedup: f64,
+}
+
+/// §2: two-pass retains pre-executed work that runahead discards.
+#[must_use]
+pub fn runahead_compare(scale: Scale) -> Vec<RunaheadRow> {
+    let cfg = MachineConfig::paper_table1();
+    paper_benchmarks(scale)
+        .iter()
+        .map(|w| {
+            let base = Baseline::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget);
+            let ra = Runahead::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget);
+            let tp = TwoPass::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget);
+            debug_assert_eq!(ra.model, ModelKind::Runahead);
+            RunaheadRow {
+                benchmark: w.name.to_string(),
+                base_cycles: base.cycles,
+                runahead_cycles: ra.cycles,
+                two_pass_cycles: tp.cycles,
+                runahead_speedup: base.cycles as f64 / ra.cycles as f64,
+                two_pass_speedup: base.cycles as f64 / tp.cycles as f64,
+            }
+        })
+        .collect()
+}
+
+/// Formats a `[pipe][level]` cell table fragment for Figure 7 output.
+#[must_use]
+pub fn level_label(i: usize) -> &'static str {
+    match i {
+        0 => "L1",
+        1 => "L2",
+        2 => "L3",
+        _ => "Mem",
+    }
+}
+
+/// All memory levels in display order (re-export convenience).
+pub const LEVELS: [MemLevel; 4] = MemLevel::ALL;

@@ -1,0 +1,34 @@
+//! Minimal fixed-width table formatting for harness output.
+
+/// Prints a header row followed by a rule.
+pub fn header(cols: &[(&str, usize)]) {
+    let mut line = String::new();
+    for (name, w) in cols {
+        line.push_str(&format!("{name:>w$}  ", w = w));
+    }
+    println!("{}", line.trim_end());
+    println!("{}", "-".repeat(line.trim_end().len()));
+}
+
+/// Formats a fraction as a percentage cell.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a ratio with three decimals.
+#[must_use]
+pub fn ratio(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_and_ratio_format() {
+        assert_eq!(pct(0.125), "12.5%");
+        assert_eq!(ratio(1.0 / 3.0), "0.333");
+    }
+}

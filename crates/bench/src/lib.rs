@@ -1,0 +1,49 @@
+//! # ff-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//!
+//! | target | paper content |
+//! |---|---|
+//! | `cargo run -p ff-bench --bin table1` | Table 1 — machine configuration |
+//! | `cargo run -p ff-bench --bin table2` | Table 2 — benchmarks and dynamic instruction counts |
+//! | `cargo run -p ff-bench --bin fig6` | Figure 6 — normalized cycles, six-class breakdown, base/2P/2Pre |
+//! | `cargo run -p ff-bench --bin fig7` | Figure 7 — initiated access cycles by pipe and level |
+//! | `cargo run -p ff-bench --bin fig8` | Figure 8 — B→A feedback-latency sweep |
+//! | `cargo run -p ff-bench --bin branch_stats` | §4 — misprediction split across A-DET/B-DET |
+//! | `cargo run -p ff-bench --bin conflict_stats` | §4 — store-conflict rates for risky loads |
+//! | `cargo run -p ff-bench --bin ablate_queue` | §3.1 — coupling-queue size sensitivity |
+//! | `cargo run -p ff-bench --bin ablate_fp_stall` | §4 — stall-on-anticipable-FP policy (vpr fix) |
+//! | `cargo run -p ff-bench --bin runahead_compare` | §2 — idealized runahead comparison |
+//!
+//! Every binary accepts an optional scale argument (`tiny`, `test`,
+//! `ref`; default `test`) and `--json` to emit machine-readable rows.
+//! Run under `--release`; the harness simulates millions of cycles.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod fmt;
+
+use ff_workloads::Scale;
+
+/// Parses command-line arguments shared by all harness binaries.
+///
+/// Returns the scale (default [`Scale::Test`]) and whether JSON output
+/// was requested.
+#[must_use]
+pub fn parse_args() -> (Scale, bool) {
+    let mut scale = Scale::Test;
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "tiny" => scale = Scale::Tiny,
+            "test" => scale = Scale::Test,
+            "ref" | "reference" => scale = Scale::Reference,
+            "--json" => json = true,
+            other => {
+                eprintln!("warning: ignoring unknown argument `{other}`");
+            }
+        }
+    }
+    (scale, json)
+}

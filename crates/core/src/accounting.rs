@@ -1,0 +1,223 @@
+//! Cycle accounting in the paper's six classes (Figure 6).
+//!
+//! Every simulated cycle of the *architectural* pipe (the only pipe in
+//! the baseline; the B-pipe in the two-pass machine) is charged to
+//! exactly one [`CycleClass`]. The breakdown therefore always sums to
+//! total cycles — an invariant the test suite checks on every run.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Index};
+
+/// The condition of the architectural pipe during one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CycleClass {
+    /// At least one instruction was issued/retired.
+    Unstalled,
+    /// Blocked on an operand produced by an outstanding load.
+    LoadStall,
+    /// Blocked on a non-load dependence (FP latency, multiply, ...).
+    NonLoadDepStall,
+    /// Blocked on an oversubscribed resource (MSHRs, store buffer,
+    /// functional-unit slots).
+    ResourceStall,
+    /// Nothing to issue: the front end is refilling (misprediction
+    /// redirect, I-cache miss) or the program drained.
+    FrontEndStall,
+    /// Two-pass only: the B-pipe is ready but the A-pipe has not put
+    /// anything consumable in the coupling queue yet (the "A-pipe is
+    /// required to stay at least one cycle ahead" condition).
+    APipeStall,
+}
+
+impl CycleClass {
+    /// All classes, in the order the paper's Figure 6 legend lists them.
+    pub const ALL: [CycleClass; 6] = [
+        CycleClass::Unstalled,
+        CycleClass::LoadStall,
+        CycleClass::NonLoadDepStall,
+        CycleClass::ResourceStall,
+        CycleClass::FrontEndStall,
+        CycleClass::APipeStall,
+    ];
+
+    /// Dense index for breakdown arrays.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            CycleClass::Unstalled => 0,
+            CycleClass::LoadStall => 1,
+            CycleClass::NonLoadDepStall => 2,
+            CycleClass::ResourceStall => 3,
+            CycleClass::FrontEndStall => 4,
+            CycleClass::APipeStall => 5,
+        }
+    }
+
+    /// Short label used in harness tables.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            CycleClass::Unstalled => "unstalled",
+            CycleClass::LoadStall => "load-stall",
+            CycleClass::NonLoadDepStall => "nonload-dep",
+            CycleClass::ResourceStall => "resource",
+            CycleClass::FrontEndStall => "front-end",
+            CycleClass::APipeStall => "a-pipe",
+        }
+    }
+}
+
+impl fmt::Display for CycleClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Cycle counts per class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleBreakdown {
+    counts: [u64; 6],
+}
+
+impl CycleBreakdown {
+    /// An all-zero breakdown.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges one cycle to `class`.
+    pub fn charge(&mut self, class: CycleClass) {
+        self.counts[class.index()] += 1;
+    }
+
+    /// Charges `n` cycles to `class`.
+    pub fn charge_n(&mut self, class: CycleClass, n: u64) {
+        self.counts[class.index()] += n;
+    }
+
+    /// Total cycles across all classes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Cycles charged to memory (load) stalls.
+    #[must_use]
+    pub fn load_stalls(&self) -> u64 {
+        self.counts[CycleClass::LoadStall.index()]
+    }
+
+    /// Fraction of total cycles in `class` (0 when empty).
+    #[must_use]
+    pub fn fraction(&self, class: CycleClass) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.counts[class.index()] as f64 / total as f64
+        }
+    }
+
+    /// Iterates `(class, count)` pairs in display order.
+    pub fn iter(&self) -> impl Iterator<Item = (CycleClass, u64)> + '_ {
+        CycleClass::ALL.iter().map(move |&c| (c, self.counts[c.index()]))
+    }
+}
+
+impl Index<CycleClass> for CycleBreakdown {
+    type Output = u64;
+
+    fn index(&self, class: CycleClass) -> &u64 {
+        &self.counts[class.index()]
+    }
+}
+
+impl Add for CycleBreakdown {
+    type Output = CycleBreakdown;
+
+    fn add(mut self, rhs: CycleBreakdown) -> CycleBreakdown {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for CycleBreakdown {
+    fn add_assign(&mut self, rhs: CycleBreakdown) {
+        for i in 0..6 {
+            self.counts[i] += rhs.counts[i];
+        }
+    }
+}
+
+impl fmt::Display for CycleBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total().max(1);
+        for (i, (class, count)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ")?;
+            }
+            write!(f, "{}: {} ({:.1}%)", class, count, 100.0 * count as f64 / total as f64)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_stable() {
+        for (i, c) in CycleClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn charge_accumulates_and_totals() {
+        let mut b = CycleBreakdown::new();
+        b.charge(CycleClass::Unstalled);
+        b.charge(CycleClass::Unstalled);
+        b.charge(CycleClass::LoadStall);
+        b.charge_n(CycleClass::FrontEndStall, 3);
+        assert_eq!(b.total(), 6);
+        assert_eq!(b[CycleClass::Unstalled], 2);
+        assert_eq!(b.load_stalls(), 1);
+        assert_eq!(b[CycleClass::FrontEndStall], 3);
+        assert_eq!(b[CycleClass::APipeStall], 0);
+    }
+
+    #[test]
+    fn fraction_handles_empty_breakdown() {
+        let b = CycleBreakdown::new();
+        assert_eq!(b.fraction(CycleClass::Unstalled), 0.0);
+        let mut b = b;
+        b.charge(CycleClass::LoadStall);
+        assert_eq!(b.fraction(CycleClass::LoadStall), 1.0);
+    }
+
+    #[test]
+    fn addition_merges_counts() {
+        let mut a = CycleBreakdown::new();
+        a.charge(CycleClass::Unstalled);
+        let mut b = CycleBreakdown::new();
+        b.charge(CycleClass::Unstalled);
+        b.charge(CycleClass::ResourceStall);
+        let c = a + b;
+        assert_eq!(c[CycleClass::Unstalled], 2);
+        assert_eq!(c[CycleClass::ResourceStall], 1);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn display_contains_percentages() {
+        let mut b = CycleBreakdown::new();
+        b.charge(CycleClass::Unstalled);
+        b.charge(CycleClass::LoadStall);
+        let s = b.to_string();
+        assert!(s.contains("unstalled: 1 (50.0%)"), "{s}");
+        assert!(s.contains("load-stall: 1 (50.0%)"), "{s}");
+    }
+}

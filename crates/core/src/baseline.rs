@@ -1,0 +1,473 @@
+//! The baseline in-order EPIC pipeline (the paper's `base` machine).
+//!
+//! Issue-group-granularity stalls are the defining behaviour: if any
+//! instruction in the group at the head of the fetch buffer has an
+//! unready operand, the *whole group and everything behind it* waits —
+//! the "artificial dependences" of the paper's Figure 1. Loads are
+//! non-blocking (stall-on-use): a load's consumers, not the load itself,
+//! expose its latency.
+//!
+//! Branch mispredictions resolve when the branch issues; the redirect
+//! penalty (`frontend_depth + exec_to_det`) is charged as front-end dead
+//! time. Wrong-path instructions therefore never corrupt architectural
+//! state, and the final registers/memory match the golden interpreter
+//! exactly — a property the test suite checks differentially.
+
+use crate::accounting::{CycleBreakdown, CycleClass};
+use crate::config::MachineConfig;
+use crate::exec_common::{fitting_prefix, op_latency};
+use crate::frontend::{Frontend, FrontendConfig};
+use crate::report::{BranchStats, MemAccessStats, ModelKind, Pipe, SimReport};
+use ff_isa::reg::TOTAL_REGS;
+use ff_isa::{evaluate, load_write, Effect, MemoryImage, Opcode, Program, RegId};
+use ff_mem::{DataHierarchy, MemLevel, MshrFile};
+
+/// The baseline in-order pipeline simulator.
+///
+/// # Examples
+///
+/// ```
+/// use ff_core::{Baseline, MachineConfig};
+/// use ff_isa::{MemoryImage, ProgramBuilder};
+/// use ff_isa::reg::IntReg;
+///
+/// let mut b = ProgramBuilder::new();
+/// b.movi(IntReg::n(1), 5);
+/// b.stop();
+/// b.halt();
+/// let program = b.build()?;
+///
+/// let sim = Baseline::new(&program, MemoryImage::new(), MachineConfig::paper_table1());
+/// let report = sim.run(1_000);
+/// assert_eq!(report.retired, 2);
+/// assert!(report.cycles > 0);
+/// # Ok::<(), ff_isa::BuildProgramError>(())
+/// ```
+#[derive(Debug)]
+pub struct Baseline<'p> {
+    cfg: MachineConfig,
+    frontend: Frontend<'p>,
+    /// Architectural register file, raw bits.
+    regs: [u64; TOTAL_REGS],
+    /// Cycle at which each register's latest value becomes readable.
+    ready_at: [u64; TOTAL_REGS],
+    /// Whether the pending producer of each register is a load.
+    pending_load: [bool; TOTAL_REGS],
+    mem_img: MemoryImage,
+    hier: DataHierarchy,
+    mshrs: MshrFile,
+    cycle: u64,
+    retired: u64,
+    halted: bool,
+    breakdown: CycleBreakdown,
+    mem_stats: MemAccessStats,
+    branches: BranchStats,
+}
+
+impl<'p> Baseline<'p> {
+    /// Creates a baseline machine over `program` with initial data
+    /// memory `mem`.
+    #[must_use]
+    pub fn new(program: &'p Program, mem: MemoryImage, cfg: MachineConfig) -> Self {
+        let fe_cfg = FrontendConfig {
+            fetch_width: cfg.issue_width,
+            buffer_capacity: cfg.fetch_buffer,
+            icache_miss_latency: cfg.icache_miss_latency,
+            icache: ff_mem::CacheGeometry::new(16 * 1024, 4, 64),
+        };
+        let frontend = Frontend::new(program, cfg.predictor.build(), fe_cfg);
+        let hier = DataHierarchy::new(cfg.hierarchy).expect("valid hierarchy");
+        let mshrs = MshrFile::new(cfg.max_outstanding_loads);
+        Baseline {
+            cfg,
+            frontend,
+            regs: [0; TOTAL_REGS],
+            ready_at: [0; TOTAL_REGS],
+            pending_load: [false; TOTAL_REGS],
+            mem_img: mem,
+            hier,
+            mshrs,
+            cycle: 0,
+            retired: 0,
+            halted: false,
+            breakdown: CycleBreakdown::new(),
+            mem_stats: MemAccessStats::default(),
+            branches: BranchStats::default(),
+        }
+    }
+
+    /// Pre-sets an integer register (e.g. to pass kernel arguments).
+    pub fn set_int(&mut self, r: ff_isa::IntReg, value: u64) {
+        self.regs[RegId::Int(r).index()] = value;
+    }
+
+    /// Runs until `halt` retires or `max_instrs` instructions retire.
+    #[must_use]
+    pub fn run(self, max_instrs: u64) -> SimReport {
+        self.run_with_state(max_instrs).0
+    }
+
+    /// First blocking register of the group, if any: returns the stall
+    /// class implied by its pending producer.
+    fn group_block(&self, len: usize) -> Option<CycleClass> {
+        for i in 0..len {
+            let f = self.frontend.peek(i);
+            for src in f.insn.sources() {
+                if self.ready_at[src.index()] > self.cycle {
+                    return Some(if self.pending_load[src.index()] {
+                        CycleClass::LoadStall
+                    } else {
+                        CycleClass::NonLoadDepStall
+                    });
+                }
+            }
+            // EPIC WAW: a destination still being produced stalls too.
+            for d in f.insn.dests() {
+                if self.ready_at[d.index()] > self.cycle {
+                    return Some(if self.pending_load[d.index()] {
+                        CycleClass::LoadStall
+                    } else {
+                        CycleClass::NonLoadDepStall
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    fn step_issue(&mut self) -> CycleClass {
+        let Some(group_len) = self.frontend.complete_group_len() else {
+            return CycleClass::FrontEndStall;
+        };
+
+        // Structural: split oversubscribed groups; the prefix issues now.
+        let ops: Vec<Opcode> = (0..group_len).map(|i| self.frontend.peek(i).insn.op).collect();
+        let n = fitting_prefix(ops.iter(), &self.cfg.fu_slots, self.cfg.issue_width);
+
+        // Dependence check over the whole architectural group: EPIC
+        // stalls the group if *any* member is unready, even one that
+        // would issue in a later split chunk.
+        if let Some(stall) = self.group_block(group_len) {
+            return stall;
+        }
+
+        // Conservative MSHR gate: a group containing a load needs room
+        // for a possible fill.
+        let has_load = ops[..n].iter().any(Opcode::is_load);
+        if has_load && !self.mshrs.has_room(self.cycle) {
+            return CycleClass::ResourceStall;
+        }
+
+        // Issue the prefix in order.
+        let mut issued = 0;
+        let mut redirect: Option<(usize, u64)> = None;
+        for i in 0..n {
+            let f = *self.frontend.peek(i);
+            self.retired += 1;
+            issued += 1;
+            match evaluate(&f.insn, &self.regs) {
+                Effect::Nullified | Effect::Nop => {}
+                Effect::Write(writes) => {
+                    let lat = op_latency(&f.insn.op, &self.cfg.latencies);
+                    for w in writes.iter() {
+                        self.regs[w.reg.index()] = w.bits;
+                        self.ready_at[w.reg.index()] = self.cycle + lat;
+                        self.pending_load[w.reg.index()] = false;
+                    }
+                }
+                Effect::Load { addr, size, signed, dest } => {
+                    let raw = self.mem_img.read(addr, size);
+                    let out = self.hier.load(addr);
+                    let done = self.finish_load(addr, out.level, out.latency);
+                    self.mem_stats.record_load(Pipe::B, out.level, out.latency);
+                    self.regs[dest.index()] = load_write(raw, size, signed);
+                    self.ready_at[dest.index()] = done;
+                    self.pending_load[dest.index()] = true;
+                }
+                Effect::Store { addr, size, bits } => {
+                    self.mem_img.write(addr, size, bits);
+                    let _ = self.hier.store(addr);
+                }
+                Effect::Branch { taken, target } => {
+                    let mispredicted = self.resolve_branch(&f, taken);
+                    if mispredicted {
+                        let correct = if taken { target } else { f.pc + 1 };
+                        redirect = Some((correct, self.cycle + self.cfg.adet_penalty()));
+                        break; // younger same-group instructions squash
+                    }
+                    if taken {
+                        break; // taken branch ends the group
+                    }
+                }
+                Effect::Halt => {
+                    self.halted = true;
+                    break;
+                }
+            }
+        }
+
+        self.frontend.consume(issued);
+        if let Some((pc, at)) = redirect {
+            self.frontend.redirect(pc, at);
+        }
+        CycleClass::Unstalled
+    }
+
+    /// Books a load's fill: L1 hits bypass the MSHRs; misses allocate or
+    /// merge. Returns the data-ready cycle.
+    fn finish_load(&mut self, addr: u64, level: MemLevel, latency: u64) -> u64 {
+        let done = self.cycle + latency;
+        let line = self.cfg.hierarchy.l2.line_of(addr);
+        if level == MemLevel::L1 {
+            // Tags fill at access time, so a "hit" may name a line whose
+            // fill is still in flight: complete no earlier than the fill.
+            return match self.mshrs.pending(self.cycle, line) {
+                Some(fill_done) => fill_done.max(done),
+                None => done,
+            };
+        }
+        self.mshrs.request(self.cycle, line, done).unwrap_or(done).max(done)
+    }
+
+    /// Updates branch statistics and the predictor; returns whether the
+    /// branch was mispredicted.
+    fn resolve_branch(&mut self, f: &crate::frontend::FetchedInsn, taken: bool) -> bool {
+        let conditional = f.insn.qp.is_some();
+        if !conditional {
+            return false; // unconditional: fetch already followed it
+        }
+        self.branches.retired += 1;
+        self.frontend.predictor_mut().update(f.pc as u64, taken);
+        let mispredicted = taken != f.predicted_taken;
+        if mispredicted {
+            self.branches.mispredicted += 1;
+            self.branches.repaired_in_a += 1;
+        }
+        mispredicted
+    }
+
+    /// Final architectural register bits (for differential testing).
+    #[must_use]
+    pub fn reg_bits(&self) -> &[u64; TOTAL_REGS] {
+        &self.regs
+    }
+
+    /// Final data memory (for differential testing).
+    #[must_use]
+    pub fn mem(&self) -> &MemoryImage {
+        &self.mem_img
+    }
+
+    fn into_report(self) -> SimReport {
+        SimReport {
+            model: ModelKind::Baseline,
+            cycles: self.cycle,
+            retired: self.retired,
+            breakdown: self.breakdown,
+            mem: self.mem_stats,
+            branches: self.branches,
+            hierarchy: *self.hier.stats(),
+            mshr: self.mshrs.stats(),
+            two_pass: None,
+        }
+    }
+
+    /// Runs to completion and returns both the report and the final
+    /// architectural state (register bits and memory) for differential
+    /// testing against the golden interpreter.
+    #[must_use]
+    pub fn run_with_state(mut self, max_instrs: u64) -> (SimReport, [u64; TOTAL_REGS], MemoryImage) {
+        let cycle_cap = max_instrs.saturating_mul(500).max(1_000_000);
+        while !self.halted && self.retired < max_instrs {
+            assert!(
+                self.cycle < cycle_cap,
+                "baseline simulation livelocked at cycle {} (retired {})",
+                self.cycle,
+                self.retired
+            );
+            self.frontend.tick(self.cycle);
+            let class = self.step_issue();
+            self.breakdown.charge(class);
+            self.cycle += 1;
+            if self.frontend.is_drained()
+                && self.frontend.complete_group_len().is_none()
+                && !self.halted
+            {
+                break;
+            }
+        }
+        let regs = self.regs;
+        let mem = self.mem_img.clone();
+        (self.into_report(), regs, mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_isa::reg::{IntReg, PredReg};
+    use ff_isa::{ArchState, CmpKind, ProgramBuilder};
+
+    fn r(i: u8) -> IntReg {
+        IntReg::n(i)
+    }
+
+    fn p(i: u8) -> PredReg {
+        PredReg::n(i)
+    }
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::paper_table1()
+    }
+
+    /// Pointer-chase loop: each load's address depends on the previous
+    /// load's value — maximal exposure of memory latency.
+    fn chase_program(len: i64) -> (Program, MemoryImage) {
+        let mut b = ProgramBuilder::new();
+        b.movi(r(1), 0x10000); // node pointer
+        b.movi(r(2), 0);
+        b.stop();
+        let top = b.here();
+        b.ld8(r(1), r(1), 0);
+        b.stop();
+        b.addi(r(2), r(2), 1);
+        b.stop();
+        b.cmpi(CmpKind::Lt, p(1), p(2), r(2), len);
+        b.stop();
+        b.br_cond(p(1), top);
+        b.stop();
+        b.halt();
+        let program = b.build().unwrap();
+        let mut mem = MemoryImage::new();
+        // Chain nodes 4KB apart so each hop misses L1.
+        for i in 0..len as u64 {
+            mem.write_u64(0x10000 + i * 4096, 0x10000 + (i + 1) * 4096);
+        }
+        (program, mem)
+    }
+
+    #[test]
+    fn matches_interpreter_on_loop() {
+        let (program, mem) = chase_program(8);
+        let mut interp = ArchState::new(&program, mem.clone());
+        interp.run(1_000_000);
+
+        let sim = Baseline::new(&program, mem, cfg());
+        let (report, regs, sim_mem) = sim.run_with_state(1_000_000);
+        assert_eq!(report.retired, interp.instr_count());
+        assert_eq!(&regs, interp.reg_bits());
+        assert_eq!(&sim_mem, interp.mem());
+    }
+
+    #[test]
+    fn breakdown_sums_to_total_cycles() {
+        let (program, mem) = chase_program(16);
+        let report = Baseline::new(&program, mem, cfg()).run(1_000_000);
+        assert_eq!(report.breakdown.total(), report.cycles);
+        assert!(report.cycles > 0);
+    }
+
+    #[test]
+    fn pointer_chase_is_load_stall_dominated() {
+        let (program, mem) = chase_program(64);
+        let report = Baseline::new(&program, mem, cfg()).run(1_000_000);
+        assert!(
+            report.breakdown.load_stalls() > report.cycles / 3,
+            "dependent misses should dominate: {}",
+            report.breakdown
+        );
+    }
+
+    #[test]
+    fn ipc_reasonable_on_independent_alu_loop() {
+        // A loop so the I-cache warms up; body is 8 groups of 4
+        // independent ALU ops plus the loop-control chain.
+        let mut b = ProgramBuilder::new();
+        b.movi(r(9), 0);
+        b.stop();
+        let top = b.here();
+        for _ in 0..8 {
+            b.addi(r(1), r(1), 1);
+            b.addi(r(2), r(2), 1);
+            b.addi(r(3), r(3), 1);
+            b.addi(r(4), r(4), 1);
+            b.stop();
+        }
+        b.addi(r(9), r(9), 1);
+        b.stop();
+        b.cmpi(CmpKind::Lt, p(1), p(2), r(9), 64);
+        b.stop();
+        b.br_cond(p(1), top);
+        b.stop();
+        b.halt();
+        let program = b.build().unwrap();
+        let report = Baseline::new(&program, MemoryImage::new(), cfg()).run(100_000);
+        assert!(report.ipc() > 2.0, "got ipc {}", report.ipc());
+    }
+
+    #[test]
+    fn mispredicted_branches_charge_front_end_stalls() {
+        // Data-dependent unpredictable branch pattern via xorshift bits.
+        let mut b = ProgramBuilder::new();
+        b.movi(r(1), 0x9E3779B97F4A7C15u64 as i64);
+        b.movi(r(2), 0);
+        b.stop();
+        let top = b.here();
+        // advance PRNG
+        b.shli(r(3), r(1), 13);
+        b.stop();
+        b.xor(r(1), r(1), r(3));
+        b.stop();
+        b.shri(r(3), r(1), 7);
+        b.stop();
+        b.xor(r(1), r(1), r(3));
+        b.stop();
+        b.andi(r(4), r(1), 1);
+        b.stop();
+        b.cmpi(CmpKind::Eq, p(1), p(2), r(4), 1);
+        b.stop();
+        let skip = b.new_label();
+        b.br_cond(p(1), skip);
+        b.stop();
+        b.addi(r(5), r(5), 1);
+        b.stop();
+        b.bind(skip);
+        b.addi(r(2), r(2), 1);
+        b.stop();
+        b.cmpi(CmpKind::Lt, p(3), p(4), r(2), 200);
+        b.stop();
+        b.br_cond(p(3), top);
+        b.stop();
+        b.halt();
+        let program = b.build().unwrap();
+        let report = Baseline::new(&program, MemoryImage::new(), cfg()).run(1_000_000);
+        assert!(report.branches.mispredicted > 20, "{:?}", report.branches);
+        assert!(report.breakdown[CycleClass::FrontEndStall] > 0);
+        // All baseline repairs happen at the (single) DET stage.
+        assert_eq!(report.branches.repaired_in_a, report.branches.mispredicted);
+    }
+
+    #[test]
+    fn halting_immediately_is_fine() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let program = b.build().unwrap();
+        let report = Baseline::new(&program, MemoryImage::new(), cfg()).run(10);
+        assert_eq!(report.retired, 1);
+    }
+
+    #[test]
+    fn instruction_budget_stops_run() {
+        let mut b = ProgramBuilder::new();
+        let top = b.here();
+        b.addi(r(1), r(1), 1);
+        b.stop();
+        b.br(top);
+        b.stop();
+        b.halt();
+        let program = b.build().unwrap();
+        let report = Baseline::new(&program, MemoryImage::new(), cfg()).run(1000);
+        assert!(report.retired >= 1000);
+        assert!(report.retired < 1100);
+    }
+}

@@ -1,0 +1,167 @@
+//! Helpers shared by the pipeline engines.
+
+use crate::config::{FuSlots, OpLatencies};
+use ff_isa::{LatencyClass, Opcode};
+
+/// Fixed execution latency of a non-load operation.
+///
+/// Loads are variable latency (the hierarchy decides); this returns the
+/// L1-hit-independent portion, i.e. callers must not pass loads here.
+///
+/// # Panics
+///
+/// Panics (debug) if called with a load.
+#[must_use]
+pub fn op_latency(op: &Opcode, lat: &OpLatencies) -> u64 {
+    match op.latency_class() {
+        LatencyClass::Int | LatencyClass::Store | LatencyClass::Branch => lat.int,
+        LatencyClass::Mul => lat.mul,
+        LatencyClass::FpArith => lat.fp_arith,
+        LatencyClass::FpDiv => lat.fp_div,
+        LatencyClass::Load => {
+            debug_assert!(false, "loads have no fixed latency");
+            lat.int
+        }
+    }
+}
+
+/// Per-cycle functional-unit slot usage tracker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlotUsage {
+    /// ALU slots consumed.
+    pub alu: usize,
+    /// Memory slots consumed.
+    pub mem: usize,
+    /// FP slots consumed.
+    pub fp: usize,
+    /// Branch slots consumed.
+    pub branch: usize,
+}
+
+impl SlotUsage {
+    /// Total operations counted.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.alu + self.mem + self.fp + self.branch
+    }
+
+    /// Whether `op` would still fit under `slots` and `issue_width` after
+    /// the usage so far.
+    #[must_use]
+    pub fn fits(&self, op: &Opcode, slots: &FuSlots, issue_width: usize) -> bool {
+        if self.total() >= issue_width {
+            return false;
+        }
+        match op.fu_class() {
+            ff_isa::FuClass::Alu => self.alu < slots.alu,
+            ff_isa::FuClass::Mem => self.mem < slots.mem,
+            ff_isa::FuClass::Fp => self.fp < slots.fp,
+            ff_isa::FuClass::Branch => self.branch < slots.branch,
+        }
+    }
+
+    /// Records `op` as issued.
+    pub fn take(&mut self, op: &Opcode) {
+        match op.fu_class() {
+            ff_isa::FuClass::Alu => self.alu += 1,
+            ff_isa::FuClass::Mem => self.mem += 1,
+            ff_isa::FuClass::Fp => self.fp += 1,
+            ff_isa::FuClass::Branch => self.branch += 1,
+        }
+    }
+}
+
+/// Length of the longest prefix of `ops` that fits one cycle's slots.
+/// Always at least 1 when `ops` is non-empty (an oversized single
+/// instruction still issues alone).
+#[must_use]
+pub fn fitting_prefix<'a, I>(ops: I, slots: &FuSlots, issue_width: usize) -> usize
+where
+    I: IntoIterator<Item = &'a Opcode>,
+{
+    let mut usage = SlotUsage::default();
+    let mut n = 0;
+    for op in ops {
+        if usage.fits(op, slots, issue_width) {
+            usage.take(op);
+            n += 1;
+        } else {
+            break;
+        }
+    }
+    n.max(1).min(usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_isa::reg::IntReg;
+
+    fn alu() -> Opcode {
+        Opcode::AddI { d: IntReg::n(1), a: IntReg::n(1), imm: 1 }
+    }
+
+    fn ld() -> Opcode {
+        Opcode::Ld {
+            d: IntReg::n(1),
+            base: IntReg::n(2),
+            off: 0,
+            size: ff_isa::MemSize::B8,
+            signed: false,
+        }
+    }
+
+    #[test]
+    fn latency_mapping() {
+        let lat = OpLatencies::defaults();
+        assert_eq!(op_latency(&alu(), &lat), 1);
+        assert_eq!(
+            op_latency(
+                &Opcode::Mul { d: IntReg::n(1), a: IntReg::n(1), b: IntReg::n(1) },
+                &lat
+            ),
+            3
+        );
+        assert_eq!(
+            op_latency(
+                &Opcode::FDiv {
+                    d: ff_isa::FpReg::n(1),
+                    a: ff_isa::FpReg::n(1),
+                    b: ff_isa::FpReg::n(1)
+                },
+                &lat
+            ),
+            16
+        );
+    }
+
+    #[test]
+    fn slot_limits_respected() {
+        let slots = FuSlots::paper_table1();
+        let ops: Vec<Opcode> = (0..4).map(|_| ld()).collect();
+        // Only 3 memory slots per cycle.
+        assert_eq!(fitting_prefix(ops.iter(), &slots, 8), 3);
+    }
+
+    #[test]
+    fn issue_width_caps_group() {
+        let slots = FuSlots { alu: 16, mem: 16, fp: 16, branch: 16 };
+        let ops: Vec<Opcode> = (0..12).map(|_| alu()).collect();
+        assert_eq!(fitting_prefix(ops.iter(), &slots, 8), 8);
+    }
+
+    #[test]
+    fn single_instruction_always_issues() {
+        let slots = FuSlots { alu: 0, mem: 0, fp: 0, branch: 0 };
+        let ops = [alu()];
+        assert_eq!(fitting_prefix(ops.iter(), &slots, 8), 1);
+    }
+
+    #[test]
+    fn mixed_group_fits_paper_slots() {
+        let slots = FuSlots::paper_table1();
+        let ops =
+            [alu(), alu(), alu(), alu(), alu(), ld(), ld(), Opcode::Br { target: 0 }];
+        assert_eq!(fitting_prefix(ops.iter(), &slots, 8), 8);
+    }
+}

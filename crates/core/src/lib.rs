@@ -1,0 +1,37 @@
+//! # ff-core — the flea-flicker two-pass pipeline models
+//!
+//! Cycle-level simulators reproducing Barnes et al., *"Beating in-order
+//! stalls with 'flea-flicker' two-pass pipelining"* (MICRO 2003):
+//!
+//! * [`baseline`] — the traditional in-order EPIC machine (`base`)
+//! * [`two_pass`] — the paper's contribution: A-pipe + coupling queue +
+//!   B-pipe (`2P`, and `2Pre` with regrouping)
+//! * [`runahead`] — a checkpoint-based runahead comparator (§2)
+//! * [`config`], [`accounting`], [`report`] — machine configuration,
+//!   the six-class cycle accounting of Figure 6, and run reports
+//!
+//! All engines execute programs *functionally* while modeling timing, so
+//! caches see real addresses and predictors real outcomes, and every
+//! engine's final architectural state is differentially checked against
+//! the `ff-isa` golden interpreter.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accounting;
+pub mod baseline;
+pub mod config;
+pub mod exec_common;
+pub mod frontend;
+pub mod report;
+pub mod runahead;
+pub mod trace;
+pub mod two_pass;
+
+pub use accounting::{CycleBreakdown, CycleClass};
+pub use baseline::Baseline;
+pub use two_pass::TwoPass;
+pub use config::{FeedbackLatency, FuSlots, MachineConfig, OpLatencies, ThrottleConfig, TwoPassConfig};
+pub use runahead::{Runahead, RunaheadStats};
+pub use trace::{FlushKind, Trace, TraceEvent};
+pub use report::{BranchStats, MemAccessStats, ModelKind, Pipe, SimReport, TwoPassStats};

@@ -1,0 +1,560 @@
+//! Checkpoint-based runahead execution (the paper's §2 comparison).
+//!
+//! Synthesizes the Dundas and Mutlu schemes the paper cites: when the
+//! in-order pipeline stalls on the *use* of a pending load, the machine
+//! checkpoints architectural state and keeps executing speculatively —
+//! propagating INV ("invalid") marks instead of stalling — purely to
+//! warm the memory hierarchy. When the blocking load returns, the
+//! checkpoint is restored and execution resumes at the stalled group;
+//! **all runahead results are discarded** (the contrast the paper draws:
+//! two-pass pipelining *keeps* its pre-executed work).
+//!
+//! Modeling choices (documented in DESIGN.md): runahead stores write a
+//! private overlay (forwarded to runahead loads, discarded at exit);
+//! branches with INV conditions follow the predictor; the predictor is
+//! trained only by architectural execution; exit charges a small
+//! restart penalty plus a front-end refill.
+
+use crate::accounting::{CycleBreakdown, CycleClass};
+use crate::config::MachineConfig;
+use crate::exec_common::{fitting_prefix, op_latency};
+use crate::frontend::{Frontend, FrontendConfig};
+use crate::report::{BranchStats, MemAccessStats, ModelKind, Pipe, SimReport};
+use ff_isa::reg::TOTAL_REGS;
+use ff_isa::{evaluate, load_write, Effect, MemoryImage, Opcode, Program};
+use ff_mem::{DataHierarchy, MemLevel, MshrFile};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Extra counters for the runahead machine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunaheadStats {
+    /// Times runahead mode was entered.
+    pub episodes: u64,
+    /// Cycles spent in runahead mode.
+    pub runahead_cycles: u64,
+    /// Loads initiated during runahead (the prefetch benefit).
+    pub runahead_loads: u64,
+    /// Runahead instructions whose results were discarded.
+    pub discarded_instrs: u64,
+}
+
+/// Cycles charged when leaving runahead mode (checkpoint restore).
+const EXIT_PENALTY: u64 = 2;
+
+/// The baseline in-order pipeline extended with runahead pre-execution.
+///
+/// # Examples
+///
+/// ```
+/// use ff_core::{MachineConfig, Runahead};
+/// use ff_isa::{MemoryImage, ProgramBuilder};
+/// use ff_isa::reg::IntReg;
+///
+/// let mut b = ProgramBuilder::new();
+/// b.movi(IntReg::n(1), 5);
+/// b.stop();
+/// b.halt();
+/// let program = b.build()?;
+/// let report = Runahead::new(&program, MemoryImage::new(), MachineConfig::paper_table1())
+///     .run(1_000);
+/// assert_eq!(report.retired, 2);
+/// # Ok::<(), ff_isa::BuildProgramError>(())
+/// ```
+#[derive(Debug)]
+pub struct Runahead<'p> {
+    cfg: MachineConfig,
+    frontend: Frontend<'p>,
+    regs: [u64; TOTAL_REGS],
+    ready_at: [u64; TOTAL_REGS],
+    pending_load: [bool; TOTAL_REGS],
+    mem_img: MemoryImage,
+    hier: DataHierarchy,
+    mshrs: MshrFile,
+    cycle: u64,
+    retired: u64,
+    halted: bool,
+    breakdown: CycleBreakdown,
+    mem_stats: MemAccessStats,
+    branches: BranchStats,
+    ra: Option<RaMode>,
+    ra_stats: RunaheadStats,
+}
+
+/// Speculative state alive only during a runahead episode.
+#[derive(Debug)]
+struct RaMode {
+    /// Cycle the blocking load completes (episode end).
+    until: u64,
+    /// PC of the stalled group, to refetch at exit.
+    resume_pc: usize,
+    /// Speculative register bits.
+    regs: [u64; TOTAL_REGS],
+    /// INV marks.
+    inv: [bool; TOTAL_REGS],
+    /// Per-register availability within runahead.
+    ready_at: [u64; TOTAL_REGS],
+    /// Runahead store overlay (discarded at exit).
+    stores: HashMap<u64, u8>,
+    /// Set when runahead ran off a halt or drained: idle until `until`.
+    done: bool,
+}
+
+impl RaMode {
+    fn read_mem(&self, base: &MemoryImage, addr: u64, size: u64) -> u64 {
+        let mut v = 0u64;
+        for i in 0..size {
+            let a = addr.wrapping_add(i);
+            let byte = self.stores.get(&a).copied().unwrap_or_else(|| base.read_u8(a));
+            v |= u64::from(byte) << (8 * i);
+        }
+        v
+    }
+
+    fn write_mem(&mut self, addr: u64, size: u64, bits: u64) {
+        for i in 0..size {
+            self.stores.insert(addr.wrapping_add(i), (bits >> (8 * i)) as u8);
+        }
+    }
+}
+
+impl<'p> Runahead<'p> {
+    /// Creates a runahead machine over `program` with initial memory.
+    #[must_use]
+    pub fn new(program: &'p Program, mem: MemoryImage, cfg: MachineConfig) -> Self {
+        let fe_cfg = FrontendConfig {
+            fetch_width: cfg.issue_width,
+            buffer_capacity: cfg.fetch_buffer,
+            icache_miss_latency: cfg.icache_miss_latency,
+            icache: ff_mem::CacheGeometry::new(16 * 1024, 4, 64),
+        };
+        let frontend = Frontend::new(program, cfg.predictor.build(), fe_cfg);
+        let hier = DataHierarchy::new(cfg.hierarchy).expect("valid hierarchy");
+        let mshrs = MshrFile::new(cfg.max_outstanding_loads);
+        Runahead {
+            cfg,
+            frontend,
+            regs: [0; TOTAL_REGS],
+            ready_at: [0; TOTAL_REGS],
+            pending_load: [false; TOTAL_REGS],
+            mem_img: mem,
+            hier,
+            mshrs,
+            cycle: 0,
+            retired: 0,
+            halted: false,
+            breakdown: CycleBreakdown::new(),
+            mem_stats: MemAccessStats::default(),
+            branches: BranchStats::default(),
+            ra: None,
+            ra_stats: RunaheadStats::default(),
+        }
+    }
+
+    /// Runs until `halt` retires or `max_instrs` instructions retire.
+    #[must_use]
+    pub fn run(self, max_instrs: u64) -> SimReport {
+        self.run_with_state(max_instrs).0
+    }
+
+    /// Runs to completion, returning final architectural state as well.
+    #[must_use]
+    pub fn run_with_state(
+        mut self,
+        max_instrs: u64,
+    ) -> (SimReport, [u64; TOTAL_REGS], MemoryImage) {
+        let cycle_cap = max_instrs.saturating_mul(500).max(1_000_000);
+        while !self.halted && self.retired < max_instrs {
+            assert!(
+                self.cycle < cycle_cap,
+                "runahead simulation livelocked at cycle {} (retired {})",
+                self.cycle,
+                self.retired
+            );
+            self.frontend.tick(self.cycle);
+            let class = if self.ra.is_some() { self.ra_step() } else { self.normal_step() };
+            self.breakdown.charge(class);
+            self.cycle += 1;
+            if self.ra.is_none()
+                && self.frontend.is_drained()
+                && self.frontend.complete_group_len().is_none()
+                && !self.halted
+            {
+                break;
+            }
+        }
+        let regs = self.regs;
+        let mem = self.mem_img.clone();
+        (self.into_report(), regs, mem)
+    }
+
+    /// Normal-mode issue: identical to the baseline, except a load-use
+    /// stall flips the machine into runahead instead of idling.
+    fn normal_step(&mut self) -> CycleClass {
+        let Some(group_len) = self.frontend.complete_group_len() else {
+            return CycleClass::FrontEndStall;
+        };
+
+        // Dependence check at issue-group granularity.
+        let mut block: Option<(CycleClass, usize, u64)> = None;
+        'outer: for i in 0..group_len {
+            let f = self.frontend.peek(i);
+            for reg in f.insn.sources().into_iter().chain(f.insn.dests()) {
+                if self.ready_at[reg.index()] > self.cycle {
+                    let class = if self.pending_load[reg.index()] {
+                        CycleClass::LoadStall
+                    } else {
+                        CycleClass::NonLoadDepStall
+                    };
+                    block = Some((class, f.pc, self.ready_at[reg.index()]));
+                    break 'outer;
+                }
+            }
+        }
+        if let Some((class, stall_pc, until)) = block {
+            if class == CycleClass::LoadStall {
+                self.enter_runahead(stall_pc, until);
+            }
+            return class;
+        }
+
+        let ops: Vec<Opcode> = (0..group_len).map(|i| self.frontend.peek(i).insn.op).collect();
+        let n = fitting_prefix(ops.iter(), &self.cfg.fu_slots, self.cfg.issue_width);
+        if ops[..n].iter().any(Opcode::is_load) && !self.mshrs.has_room(self.cycle) {
+            return CycleClass::ResourceStall;
+        }
+
+        let mut issued = 0;
+        let mut redirect: Option<(usize, u64)> = None;
+        for i in 0..n {
+            let f = *self.frontend.peek(i);
+            self.retired += 1;
+            issued += 1;
+            match evaluate(&f.insn, &self.regs) {
+                Effect::Nullified | Effect::Nop => {}
+                Effect::Write(writes) => {
+                    let lat = op_latency(&f.insn.op, &self.cfg.latencies);
+                    for w in writes.iter() {
+                        self.regs[w.reg.index()] = w.bits;
+                        self.ready_at[w.reg.index()] = self.cycle + lat;
+                        self.pending_load[w.reg.index()] = false;
+                    }
+                }
+                Effect::Load { addr, size, signed, dest } => {
+                    let raw = self.mem_img.read(addr, size);
+                    let out = self.hier.load(addr);
+                    let done = self.book_load(addr, out.level, out.latency);
+                    self.mem_stats.record_load(Pipe::B, out.level, out.latency);
+                    self.regs[dest.index()] = load_write(raw, size, signed);
+                    self.ready_at[dest.index()] = done;
+                    self.pending_load[dest.index()] = true;
+                }
+                Effect::Store { addr, size, bits } => {
+                    self.mem_img.write(addr, size, bits);
+                    let _ = self.hier.store(addr);
+                }
+                Effect::Branch { taken, target } => {
+                    if f.insn.qp.is_some() {
+                        self.branches.retired += 1;
+                        self.frontend.predictor_mut().update(f.pc as u64, taken);
+                        if taken != f.predicted_taken {
+                            self.branches.mispredicted += 1;
+                            self.branches.repaired_in_a += 1;
+                            let correct = if taken { target } else { f.pc + 1 };
+                            redirect = Some((correct, self.cycle + self.cfg.adet_penalty()));
+                            break;
+                        }
+                    }
+                    if taken {
+                        break;
+                    }
+                }
+                Effect::Halt => {
+                    self.halted = true;
+                    break;
+                }
+            }
+        }
+        self.frontend.consume(issued);
+        if let Some((pc, at)) = redirect {
+            self.frontend.redirect(pc, at);
+        }
+        CycleClass::Unstalled
+    }
+
+    fn enter_runahead(&mut self, stall_pc: usize, until: u64) {
+        self.ra_stats.episodes += 1;
+        self.ra = Some(RaMode {
+            until,
+            resume_pc: stall_pc,
+            regs: self.regs,
+            inv: [false; TOTAL_REGS],
+            ready_at: self.ready_at,
+            stores: HashMap::new(),
+            done: false,
+        });
+    }
+
+    /// One cycle of runahead pre-execution. Architecturally the machine
+    /// is still stalled on the blocking load, so the cycle is charged as
+    /// a load stall.
+    fn ra_step(&mut self) -> CycleClass {
+        let mut ra = self.ra.take().expect("in runahead mode");
+        self.ra_stats.runahead_cycles += 1;
+
+        if self.cycle >= ra.until {
+            // Blocking load returned: restore the checkpoint and refetch
+            // from the stalled group.
+            self.frontend.redirect(ra.resume_pc, self.cycle + EXIT_PENALTY);
+            return CycleClass::LoadStall;
+        }
+
+        if !ra.done {
+            self.ra_issue(&mut ra);
+        }
+        self.ra = Some(ra);
+        CycleClass::LoadStall
+    }
+
+    /// Issues one group speculatively under INV semantics.
+    fn ra_issue(&mut self, ra: &mut RaMode) {
+        let Some(group_len) = self.frontend.complete_group_len() else {
+            return;
+        };
+        let ops: Vec<Opcode> = (0..group_len).map(|i| self.frontend.peek(i).insn.op).collect();
+        let n = fitting_prefix(ops.iter(), &self.cfg.fu_slots, self.cfg.issue_width);
+
+        let mut issued = 0;
+        let mut redirect: Option<usize> = None;
+        for i in 0..n {
+            let f = *self.frontend.peek(i);
+            issued += 1;
+            self.ra_stats.discarded_instrs += 1;
+
+            // INV / not-yet-ready sources poison the result instead of
+            // stalling.
+            let mut poisoned = false;
+            for src in f.insn.sources() {
+                let idx = src.index();
+                if ra.inv[idx] || ra.ready_at[idx] > self.cycle {
+                    poisoned = true;
+                }
+            }
+
+            match evaluate(&f.insn, &ra.regs) {
+                Effect::Nullified | Effect::Nop => {}
+                Effect::Write(writes) => {
+                    let lat = op_latency(&f.insn.op, &self.cfg.latencies);
+                    for w in writes.iter() {
+                        ra.regs[w.reg.index()] = w.bits;
+                        ra.inv[w.reg.index()] = poisoned;
+                        ra.ready_at[w.reg.index()] = self.cycle + lat;
+                    }
+                }
+                Effect::Load { addr, size, signed, dest } => {
+                    if poisoned {
+                        ra.inv[dest.index()] = true;
+                    } else {
+                        // The whole point: initiate the miss early.
+                        let raw = ra.read_mem(&self.mem_img, addr, size);
+                        let out = self.hier.load(addr);
+                        let done = self.book_load(addr, out.level, out.latency);
+                        self.mem_stats.record_load(Pipe::A, out.level, out.latency);
+                        self.ra_stats.runahead_loads += 1;
+                        ra.regs[dest.index()] = load_write(raw, size, signed);
+                        ra.inv[dest.index()] = false;
+                        ra.ready_at[dest.index()] = done;
+                    }
+                }
+                Effect::Store { addr, size, bits } => {
+                    if !poisoned {
+                        ra.write_mem(addr, size, bits);
+                    }
+                }
+                Effect::Branch { taken, target } => {
+                    if poisoned {
+                        // Condition unknown: trust the prediction and keep
+                        // fetching down the predicted path.
+                        if f.predicted_taken {
+                            break;
+                        }
+                    } else {
+                        if f.insn.qp.is_some() && taken != f.predicted_taken {
+                            redirect = Some(if taken { target } else { f.pc + 1 });
+                            break;
+                        }
+                        if taken {
+                            break;
+                        }
+                    }
+                }
+                Effect::Halt => {
+                    ra.done = true;
+                    break;
+                }
+            }
+        }
+        self.frontend.consume(issued);
+        if let Some(pc) = redirect {
+            // In-runahead branch repair: cheap redirect, no episode end.
+            self.frontend.redirect(pc, self.cycle + self.cfg.adet_penalty());
+        }
+    }
+
+    fn book_load(&mut self, addr: u64, level: MemLevel, latency: u64) -> u64 {
+        let done = self.cycle + latency;
+        let line = self.cfg.hierarchy.l2.line_of(addr);
+        if level == MemLevel::L1 {
+            // Tags fill at access time, so a "hit" may name a line whose
+            // fill is still in flight: complete no earlier than the fill.
+            return match self.mshrs.pending(self.cycle, line) {
+                Some(fill_done) => fill_done.max(done),
+                None => done,
+            };
+        }
+        self.mshrs.request(self.cycle, line, done).unwrap_or(done).max(done)
+    }
+
+    /// Runahead-specific statistics.
+    #[must_use]
+    pub fn runahead_stats(&self) -> RunaheadStats {
+        self.ra_stats
+    }
+
+    fn into_report(self) -> SimReport {
+        SimReport {
+            model: ModelKind::Runahead,
+            cycles: self.cycle,
+            retired: self.retired,
+            breakdown: self.breakdown,
+            mem: self.mem_stats,
+            branches: self.branches,
+            hierarchy: *self.hier.stats(),
+            mshr: self.mshrs.stats(),
+            two_pass: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::Baseline;
+    use ff_isa::reg::{IntReg, PredReg};
+    use ff_isa::{ArchState, CmpKind, ProgramBuilder};
+
+    fn r(i: u8) -> IntReg {
+        IntReg::n(i)
+    }
+
+    fn p(i: u8) -> PredReg {
+        PredReg::n(i)
+    }
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::paper_table1()
+    }
+
+    /// Streaming loads where each iteration's miss can be prefetched by
+    /// runahead during the previous stall.
+    fn stream_program(len: i64) -> (ff_isa::Program, MemoryImage) {
+        let mut b = ProgramBuilder::new();
+        b.movi(r(1), 0x10_0000);
+        b.movi(r(2), 0);
+        b.movi(r(3), 0);
+        b.stop();
+        let top = b.here();
+        b.ld8(r(4), r(1), 0);
+        b.stop();
+        b.addi(r(1), r(1), 4096);
+        b.stop();
+        b.add(r(3), r(3), r(4)); // stall-on-use point
+        b.stop();
+        b.addi(r(2), r(2), 1);
+        b.stop();
+        b.cmpi(CmpKind::Lt, p(1), p(2), r(2), len);
+        b.stop();
+        b.br_cond(p(1), top);
+        b.stop();
+        b.halt();
+        let program = b.build().unwrap();
+        let mut mem = MemoryImage::new();
+        for i in 0..len as u64 {
+            mem.write_u64(0x10_0000 + i * 4096, i * 3);
+        }
+        (program, mem)
+    }
+
+    #[test]
+    fn matches_interpreter_after_runahead_episodes() {
+        let (program, mem) = stream_program(64);
+        let mut interp = ArchState::new(&program, mem.clone());
+        interp.run(1_000_000);
+
+        let (report, regs, sim_mem) =
+            Runahead::new(&program, mem, cfg()).run_with_state(1_000_000);
+        assert_eq!(report.retired, interp.instr_count());
+        assert_eq!(&regs, interp.reg_bits());
+        assert_eq!(&sim_mem, interp.mem());
+        assert_eq!(report.breakdown.total(), report.cycles);
+    }
+
+    #[test]
+    fn runahead_beats_plain_baseline_on_streams() {
+        let (program, mem) = stream_program(256);
+        let base = Baseline::new(&program, mem.clone(), cfg()).run(10_000_000);
+        let sim = Runahead::new(&program, mem, cfg());
+        let report = sim.run(10_000_000);
+        assert!(
+            report.cycles < base.cycles,
+            "runahead should prefetch: base={} ra={}",
+            base.cycles,
+            report.cycles
+        );
+    }
+
+    #[test]
+    fn runahead_stats_populated() {
+        let (program, mem) = stream_program(64);
+        let mut sim = Runahead::new(&program, mem, cfg());
+        // Drive manually so stats remain accessible.
+        let mut guard = 0;
+        while !sim.halted && guard < 1_000_000 {
+            sim.frontend.tick(sim.cycle);
+            let class = if sim.ra.is_some() { sim.ra_step() } else { sim.normal_step() };
+            sim.breakdown.charge(class);
+            sim.cycle += 1;
+            guard += 1;
+        }
+        let stats = sim.runahead_stats();
+        assert!(stats.episodes > 0);
+        assert!(stats.runahead_loads > 0, "{stats:?}");
+        assert!(stats.runahead_cycles >= stats.episodes);
+    }
+
+    #[test]
+    fn runahead_store_overlay_is_discarded() {
+        // A runahead-executed store must never reach architectural
+        // memory: the stalled-on load gates a store that runahead passes.
+        let mut b = ProgramBuilder::new();
+        b.movi(r(1), 0x10_0000);
+        b.movi(r(5), 0x20_0000);
+        b.movi(r(6), 42);
+        b.stop();
+        b.ld8(r(4), r(1), 0); // cold miss
+        b.stop();
+        b.add(r(7), r(4), r(6)); // stall-on-use -> runahead entered
+        b.stop();
+        b.st8(r(6), r(5), 0); // pre-executed by runahead, then replayed
+        b.stop();
+        b.halt();
+        let program = b.build().unwrap();
+        let mem = MemoryImage::new();
+
+        let mut interp = ArchState::new(&program, mem.clone());
+        interp.run(1_000);
+        let (_, _, sim_mem) = Runahead::new(&program, mem, cfg()).run_with_state(1_000);
+        assert_eq!(&sim_mem, interp.mem());
+        assert_eq!(sim_mem.read_u64(0x20_0000), 42, "architectural store must land once");
+    }
+}

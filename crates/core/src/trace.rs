@@ -1,0 +1,193 @@
+//! Pipeline event tracing.
+//!
+//! A [`Trace`] records the lifecycle of every dynamic instruction through
+//! the two-pass machine — A-pipe dispatch (executed or deferred), B-pipe
+//! retire, flushes, redirects — enough to reconstruct the paper's
+//! Figure 4 style execution snapshots. Tracing is opt-in
+//! ([`crate::TwoPass::run_traced`]) and costs nothing when off.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why speculative state was flushed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlushKind {
+    /// A deferred branch resolved mispredicted at B-DET.
+    BdetMispredict,
+    /// An ALAT miss at merge (store conflict).
+    StoreConflict,
+}
+
+/// One traced pipeline event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// An instruction entered the A-pipe (and the coupling queue).
+    ADispatch {
+        /// Cycle of dispatch.
+        cycle: u64,
+        /// Dynamic sequence number.
+        seq: u64,
+        /// Static instruction index.
+        pc: usize,
+        /// Whether the A-pipe deferred it.
+        deferred: bool,
+    },
+    /// An instruction retired from the B-pipe (architectural commit).
+    BRetire {
+        /// Cycle of retire.
+        cycle: u64,
+        /// Dynamic sequence number.
+        seq: u64,
+        /// Static instruction index.
+        pc: usize,
+        /// Whether the B-pipe had to execute it (it was deferred).
+        was_deferred: bool,
+    },
+    /// Speculative state was flushed.
+    Flush {
+        /// Cycle of the flush.
+        cycle: u64,
+        /// What triggered it.
+        kind: FlushKind,
+        /// Instructions younger than this sequence number were squashed.
+        boundary_seq: u64,
+    },
+    /// An A-DET misprediction redirected fetch.
+    ARedirect {
+        /// Cycle of the redirect decision.
+        cycle: u64,
+        /// New fetch target.
+        pc: usize,
+    },
+}
+
+/// An in-memory event log.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, e: TraceEvent) {
+        self.events.push(e);
+    }
+
+    /// All events, in emission order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders a per-instruction timeline: dispatch cycle, deferral,
+    /// retire cycle, and queue residency for the committed instructions
+    /// in `seq_range`. Squashed (never-retired) instructions are marked.
+    #[must_use]
+    pub fn timeline(&self, seq_range: std::ops::Range<u64>) -> String {
+        use std::collections::BTreeMap;
+        #[derive(Default, Clone)]
+        struct Row {
+            pc: usize,
+            dispatch: Option<u64>,
+            deferred: bool,
+            retire: Option<u64>,
+        }
+        let mut rows: BTreeMap<u64, Row> = BTreeMap::new();
+        for e in &self.events {
+            match *e {
+                TraceEvent::ADispatch { cycle, seq, pc, deferred } if seq_range.contains(&seq) => {
+                    let row = rows.entry(seq).or_default();
+                    // Re-dispatch after a flush overwrites the squashed try.
+                    row.pc = pc;
+                    row.dispatch = Some(cycle);
+                    row.deferred = deferred;
+                    row.retire = None;
+                }
+                TraceEvent::BRetire { cycle, seq, .. } if seq_range.contains(&seq) => {
+                    rows.entry(seq).or_default().retire = Some(cycle);
+                }
+                _ => {}
+            }
+        }
+        let mut out = String::from(
+            "  seq    pc  A-dispatch  mode      B-retire  in-queue\n",
+        );
+        for (seq, row) in rows {
+            let mode = if row.deferred { "deferred" } else { "executed" };
+            let (retire, dwell) = match (row.dispatch, row.retire) {
+                (Some(d), Some(r)) => (r.to_string(), (r - d).to_string()),
+                _ => ("squashed".to_string(), "-".to_string()),
+            };
+            out.push_str(&format!(
+                "{seq:>5} {:>5}  {:>10}  {mode:<8}  {retire:>8}  {dwell:>8}\n",
+                row.pc,
+                row.dispatch.map_or_else(|| "-".to_string(), |c| c.to_string()),
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_reports_dispatch_retire_and_dwell() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::ADispatch { cycle: 3, seq: 0, pc: 0, deferred: false });
+        t.push(TraceEvent::ADispatch { cycle: 3, seq: 1, pc: 1, deferred: true });
+        t.push(TraceEvent::BRetire { cycle: 9, seq: 0, pc: 0, was_deferred: false });
+        t.push(TraceEvent::BRetire { cycle: 12, seq: 1, pc: 1, was_deferred: true });
+        let text = t.timeline(0..2);
+        assert!(text.contains("executed"), "{text}");
+        assert!(text.contains("deferred"), "{text}");
+        assert!(text.contains(" 6"), "dwell of seq 0: {text}");
+    }
+
+    #[test]
+    fn squashed_instructions_are_marked() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::ADispatch { cycle: 1, seq: 5, pc: 9, deferred: false });
+        t.push(TraceEvent::Flush { cycle: 2, kind: FlushKind::BdetMispredict, boundary_seq: 4 });
+        let text = t.timeline(0..10);
+        assert!(text.contains("squashed"), "{text}");
+    }
+
+    #[test]
+    fn range_filters_events() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::ADispatch { cycle: 1, seq: 50, pc: 0, deferred: false });
+        assert!(!t.timeline(0..10).contains("50"));
+        assert!(t.timeline(49..51).contains("50"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,915 @@
+//! The flea-flicker two-pass pipeline (the paper's contribution).
+//!
+//! Two in-order back ends coupled by a FIFO queue:
+//!
+//! * the **A-pipe** dispatches one issue group per cycle and *never
+//!   stalls on unanticipated latency*: instructions whose operands are
+//!   unavailable are suppressed (deferred), their destinations marked
+//!   invalid in the [`afile::AFile`], and independent instructions keep
+//!   executing — including down mispredicted paths of branches whose
+//!   resolution was deferred;
+//! * the **coupling queue** ([`queue::CouplingQueue`]) carries every
+//!   instruction, in order, with either its pre-computed results (the
+//!   coupling result store) or a deferred marker;
+//! * the **B-pipe** merges pre-computed results into the architectural
+//!   B-file (waiting out "dangling dependences" on still-in-flight A-pipe
+//!   loads), executes deferred instructions, commits stores in order,
+//!   checks pre-executed loads against the ALAT, resolves deferred
+//!   branches (B-DET), and feeds committed values back to the A-file.
+//!
+//! Memory correctness follows the paper's §3.4: A-pipe stores go to a
+//! speculative store buffer (forwarded to younger A-pipe loads); loads
+//! pre-executed past *deferred* stores allocate ALAT entries that
+//! B-executed stores invalidate; a missing entry at merge triggers a
+//! store-conflict flush.
+
+pub mod afile;
+pub mod queue;
+
+use crate::accounting::{CycleBreakdown, CycleClass};
+use crate::config::{FeedbackLatency, MachineConfig};
+use crate::exec_common::{fitting_prefix, op_latency};
+use crate::frontend::{FetchedInsn, Frontend, FrontendConfig};
+use crate::report::{BranchStats, MemAccessStats, ModelKind, Pipe, SimReport, TwoPassStats};
+use crate::trace::{FlushKind, Trace, TraceEvent};
+use afile::{AFile, ProducerKind, SourceState};
+use ff_isa::reg::TOTAL_REGS;
+use ff_isa::{evaluate, load_write, Effect, MemoryImage, Opcode, Program, RegId, Writes};
+use ff_mem::{Alat, AlatCheck, DataHierarchy, ForwardResult, MemLevel, MshrFile, StoreBuffer};
+use queue::{BranchInfo, CouplingQueue, CqEntry, CqState, LoadInfo, StoreInfo};
+
+/// A pending B→A committed-result update.
+#[derive(Debug, Clone, Copy)]
+struct FeedbackMsg {
+    apply_at: u64,
+    reg: RegId,
+    seq: u64,
+    bits: u64,
+}
+
+/// A flush decision made while merging a bundle.
+#[derive(Debug, Clone, Copy)]
+struct FlushPlan {
+    boundary_seq: u64,
+    redirect_pc: usize,
+    penalty: u64,
+    kind: FlushKind,
+}
+
+/// The two-pass pipeline simulator.
+///
+/// # Examples
+///
+/// ```
+/// use ff_core::{MachineConfig, TwoPass};
+/// use ff_isa::{MemoryImage, ProgramBuilder};
+/// use ff_isa::reg::IntReg;
+///
+/// let mut b = ProgramBuilder::new();
+/// b.movi(IntReg::n(1), 5);
+/// b.stop();
+/// b.halt();
+/// let program = b.build()?;
+///
+/// let sim = TwoPass::new(&program, MemoryImage::new(), MachineConfig::paper_table1());
+/// let report = sim.run(1_000);
+/// assert_eq!(report.retired, 2);
+/// assert!(report.two_pass.is_some());
+/// # Ok::<(), ff_isa::BuildProgramError>(())
+/// ```
+#[derive(Debug)]
+pub struct TwoPass<'p> {
+    cfg: MachineConfig,
+    frontend: Frontend<'p>,
+    afile: AFile,
+    /// Architectural (B-file) register bits.
+    b_regs: [u64; TOTAL_REGS],
+    /// Cycle each B-file register's latest value becomes readable.
+    b_ready: [u64; TOTAL_REGS],
+    /// Whether the pending B-side producer is a load.
+    b_pending_load: [bool; TOTAL_REGS],
+    mem_img: MemoryImage,
+    hier: DataHierarchy,
+    mshrs: MshrFile,
+    store_buffer: StoreBuffer,
+    alat: Alat,
+    cq: CouplingQueue,
+    feedback: Vec<FeedbackMsg>,
+    cycle: u64,
+    retired: u64,
+    halted: bool,
+    a_halted: bool,
+    deferred_stores_in_cq: usize,
+    /// Sliding-window deferral history for the §3.5 throttle: one bit
+    /// per recent dispatch, true = deferred.
+    defer_window: std::collections::VecDeque<bool>,
+    /// Whether the throttle currently holds the A-pipe.
+    throttled: bool,
+    /// Optional event trace (None = zero-cost).
+    trace: Option<Trace>,
+    breakdown: CycleBreakdown,
+    mem_stats: MemAccessStats,
+    branches: BranchStats,
+    stats: TwoPassStats,
+}
+
+impl<'p> TwoPass<'p> {
+    /// Creates a two-pass machine over `program` with initial data
+    /// memory `mem`.
+    #[must_use]
+    pub fn new(program: &'p Program, mem: MemoryImage, cfg: MachineConfig) -> Self {
+        let fe_cfg = FrontendConfig {
+            fetch_width: cfg.issue_width,
+            buffer_capacity: cfg.fetch_buffer,
+            icache_miss_latency: cfg.icache_miss_latency,
+            icache: ff_mem::CacheGeometry::new(16 * 1024, 4, 64),
+        };
+        let frontend = Frontend::new(program, cfg.predictor.build(), fe_cfg);
+        let hier = DataHierarchy::new(cfg.hierarchy).expect("valid hierarchy");
+        let mshrs = MshrFile::new(cfg.max_outstanding_loads);
+        let store_buffer = StoreBuffer::new(cfg.two_pass.store_buffer_size);
+        let alat = Alat::new(cfg.two_pass.alat);
+        let cq = CouplingQueue::new(cfg.two_pass.queue_size);
+        TwoPass {
+            cfg,
+            frontend,
+            afile: AFile::new(),
+            b_regs: [0; TOTAL_REGS],
+            b_ready: [0; TOTAL_REGS],
+            b_pending_load: [false; TOTAL_REGS],
+            mem_img: mem,
+            hier,
+            mshrs,
+            store_buffer,
+            alat,
+            cq,
+            feedback: Vec::new(),
+            cycle: 0,
+            retired: 0,
+            halted: false,
+            a_halted: false,
+            deferred_stores_in_cq: 0,
+            defer_window: std::collections::VecDeque::new(),
+            throttled: false,
+            trace: None,
+            breakdown: CycleBreakdown::new(),
+            mem_stats: MemAccessStats::default(),
+            branches: BranchStats::default(),
+            stats: TwoPassStats::default(),
+        }
+    }
+
+    /// Pre-sets an integer register in both files (to pass kernel
+    /// arguments).
+    pub fn set_int(&mut self, r: ff_isa::IntReg, value: u64) {
+        let idx = RegId::Int(r).index();
+        self.b_regs[idx] = value;
+        self.afile.write_executed(RegId::Int(r), value, afile::ARCH_DYN_ID, 0, ProducerKind::Other);
+        // Pre-set values are architectural, not speculative.
+        let _ = self.afile.feedback_update(RegId::Int(r), afile::ARCH_DYN_ID, value, 0);
+    }
+
+    /// Runs until `halt` retires in the B-pipe or `max_instrs`
+    /// instructions retire.
+    #[must_use]
+    pub fn run(self, max_instrs: u64) -> SimReport {
+        self.run_with_state(max_instrs).0
+    }
+
+    /// Runs with event tracing enabled, returning the report and the
+    /// recorded [`Trace`] (A-dispatches, B-retires, flushes, redirects).
+    #[must_use]
+    pub fn run_traced(mut self, max_instrs: u64) -> (SimReport, Trace) {
+        self.trace = Some(Trace::new());
+        self.run_loop(max_instrs);
+        let trace = self.trace.take().unwrap_or_default();
+        (self.into_report(), trace)
+    }
+
+    /// Runs to completion, returning the report plus final architectural
+    /// state for differential testing.
+    #[must_use]
+    pub fn run_with_state(
+        mut self,
+        max_instrs: u64,
+    ) -> (SimReport, [u64; TOTAL_REGS], MemoryImage) {
+        self.run_loop(max_instrs);
+        let regs = self.b_regs;
+        let mem = self.mem_img.clone();
+        (self.into_report(), regs, mem)
+    }
+
+    fn run_loop(&mut self, max_instrs: u64) {
+        // A forward-progress guard: any livelock is a simulator bug and
+        // must surface as a panic, not a hang.
+        let cycle_cap = max_instrs.saturating_mul(500).max(1_000_000);
+        while !self.halted && self.retired < max_instrs {
+            assert!(
+                self.cycle < cycle_cap,
+                "two-pass simulation livelocked at cycle {} (retired {}, cq {}, \
+                 fetch drained: {})",
+                self.cycle,
+                self.retired,
+                self.cq.len(),
+                self.frontend.is_drained()
+            );
+            self.frontend.tick(self.cycle);
+            self.apply_feedback();
+            let class = self.b_step();
+            if !self.halted {
+                self.a_step();
+            }
+            self.breakdown.charge(class);
+            self.stats.queue_occupancy_sum += self.cq.len() as u64;
+            self.cycle += 1;
+            if self.frontend.is_drained() && self.cq.is_empty() && !self.halted {
+                break; // defensive: no further progress possible
+            }
+        }
+    }
+
+    fn into_report(mut self) -> SimReport {
+        self.stats.store_buffer = self.store_buffer.stats();
+        self.stats.alat = self.alat.stats();
+        SimReport {
+            model: if self.cfg.two_pass.regroup {
+                ModelKind::TwoPassRegroup
+            } else {
+                ModelKind::TwoPass
+            },
+            cycles: self.cycle,
+            retired: self.retired,
+            breakdown: self.breakdown,
+            mem: self.mem_stats,
+            branches: self.branches,
+            hierarchy: *self.hier.stats(),
+            mshr: self.mshrs.stats(),
+            two_pass: Some(self.stats),
+        }
+    }
+
+    // ---- feedback path --------------------------------------------------
+
+    fn push_feedback(&mut self, reg: RegId, seq: u64, bits: u64, completion: u64) {
+        if let FeedbackLatency::Cycles(lat) = self.cfg.two_pass.feedback_latency {
+            self.feedback.push(FeedbackMsg { apply_at: completion + lat, reg, seq, bits });
+        }
+    }
+
+    fn apply_feedback(&mut self) {
+        let now = self.cycle;
+        let mut i = 0;
+        while i < self.feedback.len() {
+            if self.feedback[i].apply_at <= now {
+                let m = self.feedback.swap_remove(i);
+                if self.afile.feedback_update(m.reg, m.seq, m.bits, now) {
+                    self.stats.feedback_applied += 1;
+                } else {
+                    self.stats.feedback_stale += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    // ---- B-pipe ---------------------------------------------------------
+
+    /// Dependence/dangling/structural check over the first `len` queue
+    /// entries as one issue bundle. `None` means the bundle can issue
+    /// whole. Otherwise reports the index of the first blocked entry,
+    /// the stall class, and whether the block is *internal* — a
+    /// dependence on a deferred bundle peer, which time will not resolve
+    /// (the bundle must split there) — or *external* (stall the group,
+    /// EPIC-style).
+    fn bundle_block(&self, len: usize) -> Option<(usize, CycleClass, bool)> {
+        let now = self.cycle;
+        // Registers written by earlier entries of this bundle:
+        // `true` = available at merge time (pre-executed), `false` =
+        // produced later this cycle (deferred) and unusable by bundle
+        // peers.
+        let mut written: Vec<(usize, bool)> = Vec::new();
+        let avail = |written: &[(usize, bool)], idx: usize| {
+            written.iter().rev().find(|(r, _)| *r == idx).map(|&(_, a)| a)
+        };
+        for i in 0..len {
+            let e = self.cq.get(i).expect("bundle in range");
+            match e.state {
+                CqState::Executed { ready_at, pending_load, writes, .. } => {
+                    if ready_at > now {
+                        let class = if pending_load {
+                            CycleClass::LoadStall
+                        } else {
+                            CycleClass::NonLoadDepStall
+                        };
+                        return Some((i, class, false));
+                    }
+                    for w in writes.iter() {
+                        written.push((w.reg.index(), true));
+                    }
+                }
+                CqState::Deferred => {
+                    for src in e.insn.sources() {
+                        let idx = src.index();
+                        match avail(&written, idx) {
+                            Some(true) => {}
+                            Some(false) => {
+                                return Some((i, CycleClass::NonLoadDepStall, true));
+                            }
+                            None => {
+                                if self.b_ready[idx] > now {
+                                    let class = if self.b_pending_load[idx] {
+                                        CycleClass::LoadStall
+                                    } else {
+                                        CycleClass::NonLoadDepStall
+                                    };
+                                    return Some((i, class, false));
+                                }
+                            }
+                        }
+                    }
+                    if e.insn.op.is_load() && !self.mshrs.has_room(now) {
+                        return Some((i, CycleClass::ResourceStall, false));
+                    }
+                    // WAW against a deferred peer also forces a split:
+                    // sequential apply order must be preserved in time.
+                    for d in e.insn.dests() {
+                        if avail(&written, d.index()) == Some(false) {
+                            return Some((i, CycleClass::NonLoadDepStall, true));
+                        }
+                    }
+                    for d in e.insn.dests() {
+                        written.push((d.index(), false));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn b_step(&mut self) -> CycleClass {
+        let glen = match self.cq.head_group_len(self.cycle) {
+            Some(g) => g,
+            // A group larger than the coupling queue can never present a
+            // group_end marker: when the queue is completely full of one
+            // unterminated group, consume it as a chunk (hardware would
+            // issue an oversized group over multiple cycles anyway).
+            None if self.cq.free() == 0
+                && self
+                    .cq
+                    .get(self.cq.len() - 1)
+                    .is_some_and(|e| e.enq_cycle < self.cycle) =>
+            {
+                self.cq.len()
+            }
+            None => {
+                // Nothing consumable: starving on fetch, or waiting for
+                // the A-pipe's one-cycle head start.
+                return if self.frontend.is_refilling(self.cycle)
+                    || self.frontend.complete_group_len().is_none()
+                {
+                    CycleClass::FrontEndStall
+                } else {
+                    CycleClass::APipeStall
+                };
+            }
+        };
+
+        // An internal (bundle-peer) dependence splits the group — time
+        // alone would never resolve it; an external one stalls the whole
+        // group at EPIC issue-group granularity.
+        let mut issue_len = glen;
+        if let Some((idx, stall, internal)) = self.bundle_block(glen) {
+            if !internal || idx == 0 {
+                return stall;
+            }
+            issue_len = idx;
+        }
+
+        let ops: Vec<Opcode> =
+            (0..issue_len).map(|i| self.cq.get(i).unwrap().insn.op).collect();
+        let mut bundle = fitting_prefix(ops.iter(), &self.cfg.fu_slots, self.cfg.issue_width)
+            .min(issue_len);
+
+        // Instruction regrouping (2Pre): remove the stop bit after the
+        // head group when pre-execution has made the next group
+        // independent of it. The regrouper looks ahead one group per
+        // cycle ("re-groups but does not reorder", §3.1).
+        if self.cfg.two_pass.regroup && bundle == glen && issue_len == glen {
+            if let Some(next_len) = self.cq.group_len_after(bundle, self.cycle) {
+                let cand = bundle + next_len;
+                let cand_ops: Vec<Opcode> =
+                    (0..cand).map(|i| self.cq.get(i).unwrap().insn.op).collect();
+                let fits = fitting_prefix(cand_ops.iter(), &self.cfg.fu_slots, self.cfg.issue_width)
+                    >= cand;
+                // Any block — internal or external — vetoes the merge.
+                if fits && self.bundle_block(cand).is_none() {
+                    bundle = cand;
+                    self.stats.regroup_merges += 1;
+                }
+            }
+        }
+
+        let mut processed = 0;
+        let mut flush: Option<FlushPlan> = None;
+        for i in 0..bundle {
+            let entry = *self.cq.get(i).expect("bundle in range");
+            processed += 1;
+            let done = self.merge_entry(&entry, &mut flush);
+            if done || flush.is_some() {
+                break;
+            }
+        }
+        self.cq.consume(processed);
+        if let Some(plan) = flush {
+            self.do_flush(plan);
+        }
+        CycleClass::Unstalled
+    }
+
+    /// Retires one queue entry into architectural state. Returns `true`
+    /// when the machine halted.
+    fn merge_entry(&mut self, entry: &CqEntry, flush: &mut Option<FlushPlan>) -> bool {
+        self.retired += 1;
+        if let Some(tr) = &mut self.trace {
+            tr.push(TraceEvent::BRetire {
+                cycle: self.cycle,
+                seq: entry.seq,
+                pc: entry.pc,
+                was_deferred: entry.state.is_deferred(),
+            });
+        }
+        if entry.insn.op.is_fp() {
+            self.stats.fp_retired += 1;
+        }
+        match entry.state {
+            CqState::Executed { writes, load, store, branch, .. } => {
+                for w in writes.iter() {
+                    let idx = w.reg.index();
+                    self.b_regs[idx] = w.bits;
+                    self.b_ready[idx] = self.cycle;
+                    self.b_pending_load[idx] = false;
+                    self.push_feedback(w.reg, entry.seq, w.bits, self.cycle);
+                }
+                if let Some(li) = load {
+                    if self.alat.check_and_remove(entry.seq) == AlatCheck::Conflict {
+                        self.store_conflict_flush(entry, li, flush);
+                        return false;
+                    }
+                }
+                if let Some(si) = store {
+                    self.mem_img.write(si.addr, si.size, si.bits);
+                    let _ = self.hier.store(si.addr);
+                    let _ = self.store_buffer.remove(entry.seq);
+                    self.stats.stores_retired += 1;
+                }
+                if let Some(bi) = branch {
+                    self.retire_branch(entry.pc, bi);
+                }
+                if matches!(entry.insn.op, Opcode::Halt) {
+                    self.halted = true;
+                    return true;
+                }
+            }
+            CqState::Deferred => {
+                return self.execute_deferred(entry, flush);
+            }
+        }
+        false
+    }
+
+    fn retire_branch(&mut self, pc: usize, bi: BranchInfo) {
+        if !bi.conditional {
+            return;
+        }
+        self.branches.retired += 1;
+        self.frontend.predictor_mut().update(pc as u64, bi.taken);
+        if bi.mispredicted {
+            self.branches.mispredicted += 1;
+            self.branches.repaired_in_a += 1;
+        }
+    }
+
+    /// Executes a deferred entry in the B-pipe. Returns `true` on halt.
+    fn execute_deferred(&mut self, entry: &CqEntry, flush: &mut Option<FlushPlan>) -> bool {
+        match evaluate(&entry.insn, &self.b_regs) {
+            Effect::Nullified | Effect::Nop => {}
+            Effect::Write(writes) => {
+                let lat = op_latency(&entry.insn.op, &self.cfg.latencies);
+                for w in writes.iter() {
+                    let idx = w.reg.index();
+                    self.b_regs[idx] = w.bits;
+                    self.b_ready[idx] = self.cycle + lat;
+                    self.b_pending_load[idx] = false;
+                    self.push_feedback(w.reg, entry.seq, w.bits, self.cycle + lat);
+                }
+            }
+            Effect::Load { addr, size, signed, dest } => {
+                let raw = self.mem_img.read(addr, size);
+                let out = self.hier.load(addr);
+                let done = self.book_load(addr, out.level, out.latency);
+                self.mem_stats.record_load(Pipe::B, out.level, out.latency);
+                let idx = dest.index();
+                self.b_regs[idx] = load_write(raw, size, signed);
+                self.b_ready[idx] = done;
+                self.b_pending_load[idx] = true;
+                self.push_feedback(dest, entry.seq, self.b_regs[idx], done);
+            }
+            Effect::Store { addr, size, bits } => {
+                self.mem_img.write(addr, size, bits);
+                let _ = self.hier.store(addr);
+                // A deferred store executed in the B-pipe invalidates the
+                // ALAT entries of younger pre-executed loads (§3.4).
+                let _ = self.alat.store_invalidate(addr, size);
+                self.stats.stores_retired += 1;
+                self.deferred_stores_in_cq = self.deferred_stores_in_cq.saturating_sub(1);
+            }
+            Effect::Branch { taken, target } => {
+                debug_assert!(entry.insn.qp.is_some(), "unconditional branches never defer");
+                self.branches.retired += 1;
+                self.frontend.predictor_mut().update(entry.pc as u64, taken);
+                if taken != entry.predicted_taken {
+                    self.branches.mispredicted += 1;
+                    self.branches.repaired_in_b += 1;
+                    let redirect_pc = if taken { target } else { entry.pc + 1 };
+                    *flush = Some(FlushPlan {
+                        boundary_seq: entry.seq,
+                        redirect_pc,
+                        penalty: self.cfg.bdet_penalty(),
+                        kind: FlushKind::BdetMispredict,
+                    });
+                }
+            }
+            Effect::Halt => {
+                // Halt has no sources and cannot defer; defensive only.
+                self.halted = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Handles an ALAT miss at merge: re-execute the load against
+    /// architectural memory and flush all younger speculative state.
+    fn store_conflict_flush(
+        &mut self,
+        entry: &CqEntry,
+        li: LoadInfo,
+        flush: &mut Option<FlushPlan>,
+    ) {
+        self.stats.store_conflict_flushes += 1;
+        if li.risky {
+            self.stats.loads_past_deferred_store_conflicting += 1;
+        }
+        // Re-execute the offending load with correct memory.
+        if let Effect::Load { addr, size, signed, dest } = evaluate(&entry.insn, &self.b_regs) {
+            let raw = self.mem_img.read(addr, size);
+            let out = self.hier.load(addr);
+            let done = self.book_load(addr, out.level, out.latency);
+            self.mem_stats.record_load(Pipe::B, out.level, out.latency);
+            let idx = dest.index();
+            self.b_regs[idx] = load_write(raw, size, signed);
+            self.b_ready[idx] = done;
+            self.b_pending_load[idx] = true;
+            self.push_feedback(dest, entry.seq, self.b_regs[idx], done);
+        }
+        *flush = Some(FlushPlan {
+            boundary_seq: entry.seq,
+            redirect_pc: entry.pc + 1,
+            penalty: self.cfg.bdet_penalty(),
+            kind: FlushKind::StoreConflict,
+        });
+    }
+
+    fn do_flush(&mut self, plan: FlushPlan) {
+        if let Some(tr) = &mut self.trace {
+            tr.push(TraceEvent::Flush {
+                cycle: self.cycle,
+                kind: plan.kind,
+                boundary_seq: plan.boundary_seq,
+            });
+        }
+        let _ = self.cq.flush_younger_than(plan.boundary_seq);
+        self.frontend.redirect(plan.redirect_pc, self.cycle + plan.penalty);
+        let _ = self.afile.repair_from(
+            &self.b_regs,
+            &self.b_ready,
+            &self.b_pending_load,
+            self.cycle,
+        );
+        self.store_buffer.flush_younger_than(plan.boundary_seq);
+        self.alat.flush_younger_than(plan.boundary_seq);
+        self.feedback.retain(|m| m.seq <= plan.boundary_seq);
+        self.a_halted = false;
+        self.throttled = false;
+        self.defer_window.clear();
+        self.deferred_stores_in_cq = self
+            .cq
+            .iter()
+            .filter(|e| e.state.is_deferred() && e.insn.op.is_store())
+            .count();
+    }
+
+    fn book_load(&mut self, addr: u64, level: MemLevel, latency: u64) -> u64 {
+        let done = self.cycle + latency;
+        let line = self.cfg.hierarchy.l2.line_of(addr);
+        if level == MemLevel::L1 {
+            // Tags fill at access time, so a "hit" may name a line whose
+            // fill is still in flight: complete no earlier than the fill.
+            return match self.mshrs.pending(self.cycle, line) {
+                Some(fill_done) => fill_done.max(done),
+                None => done,
+            };
+        }
+        self.mshrs.request(self.cycle, line, done).unwrap_or(done).max(done)
+    }
+
+    // ---- A-pipe ---------------------------------------------------------
+
+    /// Whether the instruction must defer based on A-file source state.
+    /// Predication refines this: a ready-and-false qualifying predicate
+    /// nullifies the instruction regardless of its other operands.
+    fn must_defer(&self, f: &FetchedInsn) -> bool {
+        if let Some(qp) = f.insn.qp {
+            match self.afile.source_state(RegId::Pred(qp), self.cycle) {
+                SourceState::Deferred | SourceState::InFlight(_) => return true,
+                SourceState::Ready => {
+                    let qp_true = ff_isa::RegRead::read(&self.afile, RegId::Pred(qp)) != 0;
+                    if !qp_true {
+                        return false; // nullified: executes (as a no-op)
+                    }
+                }
+            }
+        }
+        f.insn
+            .op
+            .sources()
+            .into_iter()
+            .any(|src| !matches!(self.afile.source_state(src, self.cycle), SourceState::Ready))
+    }
+
+    /// Records a dispatch outcome in the throttle window and returns
+    /// whether the A-pipe should pause (deferral rate above threshold
+    /// with a deep queue backlog).
+    fn throttle_check(&mut self) -> bool {
+        let Some(t) = self.cfg.two_pass.throttle else { return false };
+        if self.throttled {
+            if self.cq.len() <= t.resume_occupancy {
+                self.throttled = false;
+                self.defer_window.clear();
+            }
+        } else if self.defer_window.len() >= t.window {
+            let deferred = self.defer_window.iter().filter(|&&d| d).count();
+            if deferred as f64 / self.defer_window.len() as f64 > t.defer_threshold
+                && self.cq.len() > t.resume_occupancy
+            {
+                self.throttled = true;
+            }
+        }
+        if self.throttled {
+            self.stats.throttled_cycles += 1;
+        }
+        self.throttled
+    }
+
+    fn note_dispatch(&mut self, deferred: bool) {
+        if let Some(t) = self.cfg.two_pass.throttle {
+            self.defer_window.push_back(deferred);
+            while self.defer_window.len() > t.window {
+                self.defer_window.pop_front();
+            }
+        }
+    }
+
+    fn a_step(&mut self) {
+        if self.a_halted {
+            return;
+        }
+        if self.throttle_check() {
+            return;
+        }
+        let Some(glen) = self.frontend.complete_group_len() else {
+            return;
+        };
+        let ops: Vec<Opcode> = (0..glen).map(|i| self.frontend.peek(i).insn.op).collect();
+        let mut n =
+            fitting_prefix(ops.iter(), &self.cfg.fu_slots, self.cfg.issue_width).min(glen);
+
+        // Dispatch only as much as the coupling queue can hold; pushing
+        // nothing when the group doesn't fit whole would deadlock against
+        // a B-pipe waiting for the group's end marker.
+        let free = self.cq.free();
+        if free == 0 {
+            self.stats.queue_full_cycles += 1;
+            return;
+        }
+        n = n.min(free);
+
+        // Optional policy: stall (like the baseline) on anticipable FP
+        // latencies instead of deferring whole FP chains (§4, 175.vpr).
+        if self.cfg.two_pass.stall_on_anticipable_fp {
+            for i in 0..glen {
+                let blocked = self.frontend.peek(i).insn.sources().into_iter().any(|src| {
+                    matches!(
+                        self.afile.source_state(src, self.cycle),
+                        SourceState::InFlight(ProducerKind::Fp)
+                    )
+                });
+                if blocked {
+                    return;
+                }
+            }
+        }
+
+        let mut processed = 0;
+        let mut redirect: Option<(usize, u64)> = None;
+        for i in 0..n {
+            let f = *self.frontend.peek(i);
+            processed += 1;
+            self.stats.dispatched_a += 1;
+
+            let (state, stop) = if self.must_defer(&f) {
+                (CqState::Deferred, false)
+            } else {
+                self.a_execute(&f, &mut redirect)
+            };
+
+            self.note_dispatch(state.is_deferred());
+            if state.is_deferred() {
+                self.stats.deferred += 1;
+                if f.insn.op.is_store() {
+                    self.stats.stores_deferred += 1;
+                    self.deferred_stores_in_cq += 1;
+                }
+                if f.insn.op.is_fp() {
+                    self.stats.fp_deferred += 1;
+                }
+                for d in f.insn.dests() {
+                    self.afile.mark_deferred(d, f.seq);
+                }
+            } else {
+                self.stats.executed_in_a += 1;
+            }
+
+            if let Some(tr) = &mut self.trace {
+                tr.push(TraceEvent::ADispatch {
+                    cycle: self.cycle,
+                    seq: f.seq,
+                    pc: f.pc,
+                    deferred: state.is_deferred(),
+                });
+            }
+            self.cq.push(CqEntry {
+                seq: f.seq,
+                pc: f.pc,
+                insn: f.insn,
+                // Squashing the rest of the group (A-DET mispredict,
+                // taken branch, halt) truncates it: the B-pipe must see
+                // this entry as the group's end or it would wait forever
+                // for members that will never arrive.
+                group_end: f.group_end || stop,
+                predicted_taken: f.predicted_taken,
+                enq_cycle: self.cycle,
+                state,
+            });
+
+            if stop {
+                break;
+            }
+        }
+        self.frontend.consume(processed);
+        if let Some((pc, at)) = redirect {
+            if let Some(tr) = &mut self.trace {
+                tr.push(TraceEvent::ARedirect { cycle: self.cycle, pc });
+            }
+            self.frontend.redirect(pc, at);
+        }
+    }
+
+    /// Executes one instruction in the A-pipe. Returns the queue state
+    /// plus whether group processing must stop (taken branch, A-DET
+    /// squash, halt). May fall back to `Deferred` for structural reasons
+    /// (partial store forward, MSHR or store-buffer full).
+    fn a_execute(
+        &mut self,
+        f: &FetchedInsn,
+        redirect: &mut Option<(usize, u64)>,
+    ) -> (CqState, bool) {
+        let now = self.cycle;
+        match evaluate(&f.insn, &self.afile) {
+            Effect::Nullified | Effect::Nop => {
+                (CqState::executed(Writes::default(), now, false), false)
+            }
+            Effect::Write(writes) => {
+                let lat = op_latency(&f.insn.op, &self.cfg.latencies);
+                let producer =
+                    if f.insn.op.is_fp() { ProducerKind::Fp } else { ProducerKind::Other };
+                for w in writes.iter() {
+                    self.afile.write_executed(w.reg, w.bits, f.seq, now + lat, producer);
+                }
+                (CqState::executed(writes, now + lat, false), false)
+            }
+            Effect::Load { addr, size, signed, dest } => self.a_load(f, addr, size, signed, dest),
+            Effect::Store { addr, size, bits } => {
+                if self.store_buffer.is_full() {
+                    return (CqState::Deferred, false);
+                }
+                self.store_buffer
+                    .insert(f.seq, addr, size, bits)
+                    .expect("checked capacity");
+                (
+                    CqState::Executed {
+                        writes: Writes::default(),
+                        ready_at: now,
+                        pending_load: false,
+                        load: None,
+                        store: Some(StoreInfo { addr, size, bits }),
+                        branch: None,
+                    },
+                    false,
+                )
+            }
+            Effect::Branch { taken, target } => {
+                let conditional = f.insn.qp.is_some();
+                let mispredicted = conditional && taken != f.predicted_taken;
+                if mispredicted {
+                    let correct = if taken { target } else { f.pc + 1 };
+                    *redirect = Some((correct, now + self.cfg.adet_penalty()));
+                }
+                let bi = BranchInfo { taken, mispredicted, conditional };
+                (
+                    CqState::Executed {
+                        writes: Writes::default(),
+                        ready_at: now,
+                        pending_load: false,
+                        load: None,
+                        store: None,
+                        branch: Some(bi),
+                    },
+                    // Stop on squash or on an actually-taken branch (the
+                    // front end ended the group there if predicted taken).
+                    mispredicted || taken,
+                )
+            }
+            Effect::Halt => {
+                self.a_halted = true;
+                (CqState::executed(Writes::default(), now, false), true)
+            }
+        }
+    }
+
+    fn a_load(
+        &mut self,
+        f: &FetchedInsn,
+        addr: u64,
+        size: u64,
+        signed: bool,
+        dest: RegId,
+    ) -> (CqState, bool) {
+        let now = self.cycle;
+        let risky = self.deferred_stores_in_cq > 0;
+
+        let (bits, ready_at, level, latency) =
+            match self.store_buffer.forward(f.seq, addr, size) {
+                ForwardResult::Partial => return (CqState::Deferred, false),
+                ForwardResult::Forwarded(raw) => {
+                    // Store-buffer bypass at L1 speed.
+                    let lat = self.cfg.hierarchy.l1_latency;
+                    (load_write(raw, size, signed), now + lat, MemLevel::L1, lat)
+                }
+                ForwardResult::NoConflict => {
+                    if !self.mshrs.has_room(now) && self.hier.probe(addr) != MemLevel::L1 {
+                        return (CqState::Deferred, false);
+                    }
+                    let raw = self.mem_img.read(addr, size);
+                    let out = self.hier.load(addr);
+                    let done = self.book_load(addr, out.level, out.latency);
+                    (load_write(raw, size, signed), done, out.level, out.latency)
+                }
+            };
+
+        self.mem_stats.record_load(Pipe::A, level, latency);
+        self.alat.allocate(f.seq, addr, size);
+        if risky {
+            self.stats.loads_past_deferred_store += 1;
+        }
+        self.afile.write_executed(dest, bits, f.seq, ready_at, ProducerKind::Load);
+
+        let mut writes = Writes::default();
+        writes.push(ff_isa::RegWrite { reg: dest, bits });
+        (
+            CqState::Executed {
+                writes,
+                ready_at,
+                pending_load: true,
+                load: Some(LoadInfo { addr, size, risky }),
+                store: None,
+                branch: None,
+            },
+            false,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,567 @@
+//! A textual assembler for the EPIC-style ISA.
+//!
+//! [`parse_program`] accepts the same syntax [`crate::Program`] prints
+//! (`Display`), plus labels, comments, and symbolic branch targets:
+//!
+//! ```text
+//! // r1 = counter, r2 = bound
+//!         movi r1 = 0
+//!         movi r2 = 10 ;;
+//! loop:
+//!         addi r1 = r1, 1 ;;
+//!         cmp.lt p1, p2 = r1, r2 ;;
+//!    (p1) br loop ;;
+//!         halt
+//! ```
+//!
+//! * `;;` after an instruction sets the stop bit (issue-group boundary);
+//! * `(pN)` before a mnemonic sets the qualifying predicate;
+//! * `name:` on its own line (or before an instruction) binds a label;
+//!   labels force a group boundary, as branch targets must start groups;
+//! * `//` and `#` start comments.
+//!
+//! Round-trip property: parsing the `Display` output of any valid
+//! program (with targets printed numerically) reproduces it exactly —
+//! checked by proptest in the test suite.
+
+use crate::builder::Label;
+use crate::op::{CmpKind, MemSize, Opcode};
+use crate::program::Program;
+use crate::reg::{FpReg, IntReg, PredReg};
+use crate::{BuildProgramError, ProgramBuilder};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced by [`parse_program`], with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseAsmError {
+    ParseAsmError { line, message: message.into() }
+}
+
+struct Cursor<'a> {
+    toks: Vec<&'a str>,
+    at: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn next(&mut self) -> Result<&'a str, ParseAsmError> {
+        let t = self.toks.get(self.at).copied();
+        self.at += 1;
+        t.ok_or_else(|| err(self.line, "unexpected end of line"))
+    }
+
+    fn done(&self) -> bool {
+        self.at >= self.toks.len()
+    }
+}
+
+fn parse_int_reg(tok: &str, line: usize) -> Result<IntReg, ParseAsmError> {
+    tok.strip_prefix('r')
+        .and_then(|n| n.parse::<u8>().ok())
+        .and_then(|n| IntReg::new(n).ok())
+        .ok_or_else(|| err(line, format!("expected integer register, found `{tok}`")))
+}
+
+fn parse_fp_reg(tok: &str, line: usize) -> Result<FpReg, ParseAsmError> {
+    tok.strip_prefix('f')
+        .and_then(|n| n.parse::<u8>().ok())
+        .and_then(|n| FpReg::new(n).ok())
+        .ok_or_else(|| err(line, format!("expected FP register, found `{tok}`")))
+}
+
+fn parse_pred_reg(tok: &str, line: usize) -> Result<PredReg, ParseAsmError> {
+    tok.strip_prefix('p')
+        .and_then(|n| n.parse::<u8>().ok())
+        .and_then(|n| PredReg::new(n).ok())
+        .ok_or_else(|| err(line, format!("expected predicate register, found `{tok}`")))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseAsmError> {
+    let parsed = if let Some(hex) = tok.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).ok()
+    } else if let Some(hex) = tok.strip_prefix("-0x") {
+        i64::from_str_radix(hex, 16).ok().map(|v| -v)
+    } else {
+        tok.parse::<i64>().ok()
+    };
+    parsed.ok_or_else(|| err(line, format!("expected immediate, found `{tok}`")))
+}
+
+fn parse_cmp_kind(tok: &str, line: usize) -> Result<CmpKind, ParseAsmError> {
+    Ok(match tok {
+        "eq" => CmpKind::Eq,
+        "ne" => CmpKind::Ne,
+        "lt" => CmpKind::Lt,
+        "le" => CmpKind::Le,
+        "gt" => CmpKind::Gt,
+        "ge" => CmpKind::Ge,
+        "ltu" => CmpKind::Ltu,
+        "geu" => CmpKind::Geu,
+        other => return Err(err(line, format!("unknown compare condition `{other}`"))),
+    })
+}
+
+/// Splits an instruction line into tokens, treating `,`, `=`, `[`, `]`,
+/// `+` as separators (they are syntax sugar only).
+fn tokenize(text: &str) -> Vec<&str> {
+    text.split(|c: char| c.is_whitespace() || ",=[]+".contains(c))
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+enum BranchTarget {
+    Numeric(usize),
+    Symbolic(String),
+}
+
+/// Parses assembly text into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns [`ParseAsmError`] for syntax problems (with the offending
+/// line), or the underlying [`BuildProgramError`] message for semantic
+/// problems (unbound labels, invalid program structure).
+pub fn parse_program(text: &str) -> Result<Program, ParseAsmError> {
+    let mut b = ProgramBuilder::new();
+    let mut labels: HashMap<String, Label> = HashMap::new();
+    // Branches that used symbolic targets: fixed up through the builder.
+    let get_label = |b: &mut ProgramBuilder,
+                         labels: &mut HashMap<String, Label>,
+                         name: &str|
+     -> Label {
+        *labels.entry(name.to_string()).or_insert_with(|| b.new_label())
+    };
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let code = raw.split("//").next().unwrap_or("").split('#').next().unwrap_or("");
+        let mut rest = code.trim();
+        if rest.is_empty() {
+            continue;
+        }
+
+        // Labels (possibly several) at the start of the line.
+        while let Some(colon) = rest.find(':') {
+            let (name, tail) = rest.split_at(colon);
+            let name = name.trim();
+            if name.is_empty()
+                || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+            {
+                break;
+            }
+            let label = get_label(&mut b, &mut labels, name);
+            // `bind` panics on double-binding; surface it as an error.
+            if b.is_bound(label) {
+                return Err(err(line, format!("label `{name}` bound twice")));
+            }
+            b.bind(label);
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+
+        // Stop bit.
+        let stop = rest.ends_with(";;");
+        if stop {
+            rest = rest[..rest.len() - 2].trim();
+        }
+
+        // Qualifying predicate.
+        let mut qp = None;
+        if let Some(tail) = rest.strip_prefix('(') {
+            let close = tail
+                .find(')')
+                .ok_or_else(|| err(line, "unterminated qualifying predicate"))?;
+            qp = Some(parse_pred_reg(tail[..close].trim(), line)?);
+            rest = tail[close + 1..].trim();
+        }
+
+        let toks = tokenize(rest);
+        if toks.is_empty() {
+            return Err(err(line, "expected an instruction"));
+        }
+        let mnemonic = toks[0];
+        let mut c = Cursor { toks, at: 1, line };
+
+        // Branches are special: they take a label or numeric target.
+        if mnemonic == "br" {
+            let t = c.next()?;
+            let target = if let Ok(n) = t.parse::<usize>() {
+                BranchTarget::Numeric(n)
+            } else {
+                BranchTarget::Symbolic(t.to_string())
+            };
+            if let Some(qp) = qp {
+                b.with_pred(qp);
+            }
+            match target {
+                BranchTarget::Numeric(n) => {
+                    // Validated (range + group start) at build time.
+                    b.push(Opcode::Br { target: n });
+                }
+                BranchTarget::Symbolic(name) => {
+                    let label = get_label(&mut b, &mut labels, &name);
+                    // br() applies the pending predicate itself, so
+                    // re-apply (with_pred is consumed by push).
+                    if let Some(qp) = qp {
+                        b.with_pred(qp);
+                    }
+                    b.br(label);
+                }
+            }
+            if stop {
+                b.stop();
+            }
+            continue;
+        }
+
+        let op = parse_op(mnemonic, &mut c, line)?;
+        if !c.done() {
+            return Err(err(line, format!("trailing tokens after `{mnemonic}`")));
+        }
+        if let Some(qp) = qp {
+            b.with_pred(qp);
+        }
+        b.push(op);
+        if stop {
+            b.stop();
+        }
+    }
+
+    b.build().map_err(|e: BuildProgramError| err(0, e.to_string()))
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_op(mnemonic: &str, c: &mut Cursor<'_>, line: usize) -> Result<Opcode, ParseAsmError> {
+    let int3 = |c: &mut Cursor<'_>| -> Result<(IntReg, IntReg, IntReg), ParseAsmError> {
+        Ok((
+            parse_int_reg(c.next()?, line)?,
+            parse_int_reg(c.next()?, line)?,
+            parse_int_reg(c.next()?, line)?,
+        ))
+    };
+    let int2imm = |c: &mut Cursor<'_>| -> Result<(IntReg, IntReg, i64), ParseAsmError> {
+        Ok((
+            parse_int_reg(c.next()?, line)?,
+            parse_int_reg(c.next()?, line)?,
+            parse_imm(c.next()?, line)?,
+        ))
+    };
+    let fp3 = |c: &mut Cursor<'_>| -> Result<(FpReg, FpReg, FpReg), ParseAsmError> {
+        Ok((
+            parse_fp_reg(c.next()?, line)?,
+            parse_fp_reg(c.next()?, line)?,
+            parse_fp_reg(c.next()?, line)?,
+        ))
+    };
+
+    // ld/st with width suffix: ld1/ld2/ld4/ld8 (+`s` for signed), st1..8.
+    if let Some(rest) = mnemonic.strip_prefix("ld") {
+        if rest != "f" {
+            let (size_txt, signed) = match rest.strip_suffix('s') {
+                Some(sz) => (sz, true),
+                None => (rest, false),
+            };
+            let size = parse_size(size_txt, line)?;
+            let d = parse_int_reg(c.next()?, line)?;
+            let base = parse_int_reg(c.next()?, line)?;
+            let off = parse_imm(c.next()?, line)?;
+            return Ok(Opcode::Ld { d, base, off, size, signed });
+        }
+    }
+    if let Some(rest) = mnemonic.strip_prefix("st") {
+        if rest != "f" {
+            let size = parse_size(rest, line)?;
+            let base = parse_int_reg(c.next()?, line)?;
+            let off = parse_imm(c.next()?, line)?;
+            let src = parse_int_reg(c.next()?, line)?;
+            return Ok(Opcode::St { src, base, off, size });
+        }
+    }
+    if let Some(kind_txt) = mnemonic.strip_prefix("cmpi.") {
+        let kind = parse_cmp_kind(kind_txt, line)?;
+        let pt = parse_pred_reg(c.next()?, line)?;
+        let pf = parse_pred_reg(c.next()?, line)?;
+        let a = parse_int_reg(c.next()?, line)?;
+        let imm = parse_imm(c.next()?, line)?;
+        return Ok(Opcode::CmpI { kind, pt, pf, a, imm });
+    }
+    if let Some(kind_txt) = mnemonic.strip_prefix("cmp.") {
+        let kind = parse_cmp_kind(kind_txt, line)?;
+        let pt = parse_pred_reg(c.next()?, line)?;
+        let pf = parse_pred_reg(c.next()?, line)?;
+        let a = parse_int_reg(c.next()?, line)?;
+        let b2 = parse_int_reg(c.next()?, line)?;
+        return Ok(Opcode::Cmp { kind, pt, pf, a, b: b2 });
+    }
+    if let Some(kind_txt) = mnemonic.strip_prefix("fcmp.") {
+        let kind = parse_cmp_kind(kind_txt, line)?;
+        let pt = parse_pred_reg(c.next()?, line)?;
+        let pf = parse_pred_reg(c.next()?, line)?;
+        let a = parse_fp_reg(c.next()?, line)?;
+        let b2 = parse_fp_reg(c.next()?, line)?;
+        return Ok(Opcode::FCmp { kind, pt, pf, a, b: b2 });
+    }
+
+    Ok(match mnemonic {
+        "add" => {
+            let (d, a, b2) = int3(c)?;
+            Opcode::Add { d, a, b: b2 }
+        }
+        "addi" => {
+            let (d, a, imm) = int2imm(c)?;
+            Opcode::AddI { d, a, imm }
+        }
+        "sub" => {
+            let (d, a, b2) = int3(c)?;
+            Opcode::Sub { d, a, b: b2 }
+        }
+        "and" => {
+            let (d, a, b2) = int3(c)?;
+            Opcode::And { d, a, b: b2 }
+        }
+        "andi" => {
+            let (d, a, imm) = int2imm(c)?;
+            Opcode::AndI { d, a, imm }
+        }
+        "or" => {
+            let (d, a, b2) = int3(c)?;
+            Opcode::Or { d, a, b: b2 }
+        }
+        "xor" => {
+            let (d, a, b2) = int3(c)?;
+            Opcode::Xor { d, a, b: b2 }
+        }
+        "xori" => {
+            let (d, a, imm) = int2imm(c)?;
+            Opcode::XorI { d, a, imm }
+        }
+        "shl" => {
+            let (d, a, b2) = int3(c)?;
+            Opcode::Shl { d, a, b: b2 }
+        }
+        "shr" => {
+            let (d, a, b2) = int3(c)?;
+            Opcode::Shr { d, a, b: b2 }
+        }
+        "shli" => {
+            let (d, a, imm) = int2imm(c)?;
+            Opcode::ShlI { d, a, sh: cast_shift(imm, line)? }
+        }
+        "shri" => {
+            let (d, a, imm) = int2imm(c)?;
+            Opcode::ShrI { d, a, sh: cast_shift(imm, line)? }
+        }
+        "mul" => {
+            let (d, a, b2) = int3(c)?;
+            Opcode::Mul { d, a, b: b2 }
+        }
+        "mov" => {
+            let d = parse_int_reg(c.next()?, line)?;
+            let a = parse_int_reg(c.next()?, line)?;
+            Opcode::Mov { d, a }
+        }
+        "movi" => {
+            let d = parse_int_reg(c.next()?, line)?;
+            let imm = parse_imm(c.next()?, line)?;
+            Opcode::MovI { d, imm }
+        }
+        "ldf" => {
+            let d = parse_fp_reg(c.next()?, line)?;
+            let base = parse_int_reg(c.next()?, line)?;
+            let off = parse_imm(c.next()?, line)?;
+            Opcode::LdF { d, base, off }
+        }
+        "stf" => {
+            let base = parse_int_reg(c.next()?, line)?;
+            let off = parse_imm(c.next()?, line)?;
+            let src = parse_fp_reg(c.next()?, line)?;
+            Opcode::StF { src, base, off }
+        }
+        "fadd" => {
+            let (d, a, b2) = fp3(c)?;
+            Opcode::FAdd { d, a, b: b2 }
+        }
+        "fsub" => {
+            let (d, a, b2) = fp3(c)?;
+            Opcode::FSub { d, a, b: b2 }
+        }
+        "fmul" => {
+            let (d, a, b2) = fp3(c)?;
+            Opcode::FMul { d, a, b: b2 }
+        }
+        "fdiv" => {
+            let (d, a, b2) = fp3(c)?;
+            Opcode::FDiv { d, a, b: b2 }
+        }
+        "fmov" => {
+            let d = parse_fp_reg(c.next()?, line)?;
+            let a = parse_fp_reg(c.next()?, line)?;
+            Opcode::FMov { d, a }
+        }
+        "fmovi" => {
+            let d = parse_fp_reg(c.next()?, line)?;
+            let t = c.next()?;
+            let imm = t
+                .parse::<f64>()
+                .map_err(|_| err(line, format!("expected FP immediate, found `{t}`")))?;
+            Opcode::FMovI { d, imm }
+        }
+        "icvtf" => {
+            let d = parse_fp_reg(c.next()?, line)?;
+            let a = parse_int_reg(c.next()?, line)?;
+            Opcode::ICvtF { d, a }
+        }
+        "fcvti" => {
+            let d = parse_int_reg(c.next()?, line)?;
+            let a = parse_fp_reg(c.next()?, line)?;
+            Opcode::FCvtI { d, a }
+        }
+        "nop" => Opcode::Nop,
+        "halt" => Opcode::Halt,
+        other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+    })
+}
+
+fn parse_size(txt: &str, line: usize) -> Result<MemSize, ParseAsmError> {
+    Ok(match txt {
+        "1" => MemSize::B1,
+        "2" => MemSize::B2,
+        "4" => MemSize::B4,
+        "8" => MemSize::B8,
+        other => return Err(err(line, format!("bad access width `{other}`"))),
+    })
+}
+
+fn cast_shift(imm: i64, line: usize) -> Result<u8, ParseAsmError> {
+    u8::try_from(imm).map_err(|_| err(line, format!("shift amount {imm} out of range")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArchState, MemoryImage};
+
+    #[test]
+    fn parses_the_doc_example() {
+        let program = parse_program(
+            "
+            // r1 = counter, r2 = bound
+                    movi r1 = 0
+                    movi r2 = 10 ;;
+            loop:
+                    addi r1 = r1, 1 ;;
+                    cmp.lt p1, p2 = r1, r2 ;;
+               (p1) br loop ;;
+                    halt
+            ",
+        )
+        .expect("parses");
+        let mut st = ArchState::new(&program, MemoryImage::new());
+        st.run(1_000);
+        assert!(st.is_halted());
+        assert_eq!(st.int(IntReg::n(1)), 10);
+    }
+
+    #[test]
+    fn memory_and_fp_syntax() {
+        let program = parse_program(
+            "
+                movi r1 = 0x100 ;;
+                movi r2 = -5 ;;
+                st8 [r1 + 0] = r2 ;;
+                ld4s r3 = [r1 + 0] ;;
+                ld4 r4 = [r1 + 0] ;;
+                fmovi f1 = 1.5 ;;
+                fadd f2 = f1, f1 ;;
+                stf [r1 + 8] = f2 ;;
+                ldf f3 = [r1 + 8] ;;
+                halt
+            ",
+        )
+        .expect("parses");
+        let mut st = ArchState::new(&program, MemoryImage::new());
+        st.run(100);
+        assert_eq!(st.int(IntReg::n(3)) as i64, -5);
+        assert_eq!(st.int(IntReg::n(4)), 0xFFFF_FFFB);
+        assert_eq!(st.fp(FpReg::n(3)), 3.0);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let src = "
+            movi r1 = 7 ;;
+            cmpi.lt p1, p2 = r1, 9 ;;
+            (p1) br 4 ;;
+            nop ;;
+            halt
+        ";
+        let program = parse_program(src).expect("parses");
+        let printed = program.to_string();
+        // Strip the `pc:` prefixes Display adds.
+        let reparsed_src: String = printed
+            .lines()
+            .map(|l| l.splitn(2, ':').nth(1).unwrap_or(""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let reparsed = parse_program(&reparsed_src).expect("round-trips");
+        assert_eq!(program, reparsed);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_program("movi r1 = 1 ;;\nbogus r2\nhalt").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+
+        let e = parse_program("movi r99 = 1 ;;\nhalt").unwrap_err();
+        assert_eq!(e.line, 1);
+
+        let e = parse_program("br nowhere ;;\nhalt").unwrap_err();
+        assert!(e.to_string().contains("never bound"), "{e}");
+    }
+
+    #[test]
+    fn double_label_is_rejected() {
+        let e = parse_program("a:\nnop ;;\na:\nhalt").unwrap_err();
+        assert!(e.to_string().contains("bound twice"), "{e}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let program = parse_program(
+            "# leading comment\n\n   // another\nnop ;; // trailing\nhalt",
+        )
+        .expect("parses");
+        assert_eq!(program.len(), 2);
+    }
+
+    #[test]
+    fn predicated_non_branch_ops_parse() {
+        let program = parse_program(
+            "
+            cmpi.eq p1, p2 = r1, 0 ;;
+            (p2) addi r2 = r2, 5 ;;
+            halt
+            ",
+        )
+        .expect("parses");
+        assert_eq!(program.fetch(1).qp, Some(PredReg::n(2)));
+    }
+}

@@ -1,0 +1,201 @@
+//! Sparse byte-addressable data memory.
+//!
+//! [`MemoryImage`] is the functional data memory shared by the golden
+//! interpreter and the pipeline models' architectural state. It is a
+//! sparse page map: reads of never-written addresses return zero and do
+//! not allocate, so wrong-path or wild loads cannot blow up the footprint.
+
+use std::collections::HashMap;
+
+/// Bytes per backing page.
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// Sparse, byte-addressable 64-bit memory.
+///
+/// # Examples
+///
+/// ```
+/// use ff_isa::MemoryImage;
+///
+/// let mut mem = MemoryImage::new();
+/// mem.write_u64(0x1000, 42);
+/// assert_eq!(mem.read_u64(0x1000), 42);
+/// // Unwritten memory reads as zero.
+/// assert_eq!(mem.read_u64(0xdead_beef), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemoryImage {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl MemoryImage {
+    /// Creates an empty memory; every address reads as zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of resident (written) pages; useful for footprint assertions
+    /// in tests.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads a single byte.
+    #[must_use]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes a single byte, allocating the containing page if needed.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads `size` bytes (1..=8) little-endian, zero-extended to 64 bits.
+    ///
+    /// Unaligned and page-crossing accesses are handled byte-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is 0 or greater than 8.
+    #[must_use]
+    pub fn read(&self, addr: u64, size: u64) -> u64 {
+        assert!((1..=8).contains(&size), "access size {size} out of range");
+        let mut value = 0u64;
+        for i in 0..size {
+            value |= u64::from(self.read_u8(addr.wrapping_add(i))) << (8 * i);
+        }
+        value
+    }
+
+    /// Writes the low `size` bytes (1..=8) of `value` little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is 0 or greater than 8.
+    pub fn write(&mut self, addr: u64, size: u64, value: u64) {
+        assert!((1..=8).contains(&size), "access size {size} out of range");
+        for i in 0..size {
+            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads an 8-byte little-endian word.
+    #[must_use]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read(addr, 8)
+    }
+
+    /// Writes an 8-byte little-endian word.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write(addr, 8, value);
+    }
+
+    /// Reads an 8-byte IEEE-754 double.
+    #[must_use]
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an 8-byte IEEE-754 double.
+    pub fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write_u64(addr, value.to_bits());
+    }
+
+    /// Writes a slice of 64-bit words starting at `addr` (8-byte stride).
+    pub fn write_u64s(&mut self, addr: u64, values: &[u64]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write_u64(addr + 8 * i as u64, *v);
+        }
+    }
+
+    /// Writes a slice of doubles starting at `addr` (8-byte stride).
+    pub fn write_f64s(&mut self, addr: u64, values: &[f64]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write_f64(addr + 8 * i as u64, *v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero_without_allocating() {
+        let mem = MemoryImage::new();
+        assert_eq!(mem.read(0, 8), 0);
+        assert_eq!(mem.read(u64::MAX - 7, 8), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn read_write_round_trip_all_sizes() {
+        let mut mem = MemoryImage::new();
+        for size in 1..=8u64 {
+            let v = 0x1122_3344_5566_7788u64;
+            mem.write(0x2000, size, v);
+            let mask = if size == 8 { u64::MAX } else { (1 << (8 * size)) - 1 };
+            assert_eq!(mem.read(0x2000, size), v & mask, "size {size}");
+        }
+    }
+
+    #[test]
+    fn writes_are_little_endian() {
+        let mut mem = MemoryImage::new();
+        mem.write(0x100, 4, 0xAABB_CCDD);
+        assert_eq!(mem.read_u8(0x100), 0xDD);
+        assert_eq!(mem.read_u8(0x103), 0xAA);
+    }
+
+    #[test]
+    fn page_crossing_access_round_trips() {
+        let mut mem = MemoryImage::new();
+        let addr = (1 << PAGE_SHIFT) - 3; // straddles the first page boundary
+        mem.write_u64(addr, 0x0102_0304_0506_0708);
+        assert_eq!(mem.read_u64(addr), 0x0102_0304_0506_0708);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn partial_write_preserves_neighbors() {
+        let mut mem = MemoryImage::new();
+        mem.write_u64(0x40, u64::MAX);
+        mem.write(0x42, 2, 0);
+        assert_eq!(mem.read_u64(0x40), 0xFFFF_FFFF_0000_FFFF);
+    }
+
+    #[test]
+    fn f64_round_trips() {
+        let mut mem = MemoryImage::new();
+        mem.write_f64(0x80, -3.25);
+        assert_eq!(mem.read_f64(0x80), -3.25);
+    }
+
+    #[test]
+    fn bulk_writers_use_word_stride() {
+        let mut mem = MemoryImage::new();
+        mem.write_u64s(0x0, &[1, 2, 3]);
+        assert_eq!(mem.read_u64(8), 2);
+        mem.write_f64s(0x100, &[1.5, 2.5]);
+        assert_eq!(mem.read_f64(0x108), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_size_access_panics() {
+        let mem = MemoryImage::new();
+        let _ = mem.read(0, 0);
+    }
+}

@@ -1,0 +1,637 @@
+//! Operation definitions for the EPIC-style ISA.
+//!
+//! [`Opcode`] is a closed IR-style enum: each variant embeds its operand
+//! register names and immediates. This keeps an instruction fully
+//! self-describing — the pipeline models never consult a side table to
+//! discover what an instruction reads or writes; they call
+//! [`Opcode::sources`] and [`Opcode::dests`].
+
+use crate::reg::{FpReg, IntReg, PredReg, RegId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Comparison condition for [`Opcode::Cmp`], [`Opcode::CmpI`] and
+/// [`Opcode::FCmp`].
+///
+/// Integer comparisons interpret their operands as signed two's-complement
+/// values unless the condition is one of the explicitly unsigned variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpKind {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-than-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-than-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-than-or-equal.
+    Geu,
+}
+
+impl CmpKind {
+    /// Evaluates the condition on two integer operands.
+    #[must_use]
+    pub fn eval_int(self, a: u64, b: u64) -> bool {
+        match self {
+            CmpKind::Eq => a == b,
+            CmpKind::Ne => a != b,
+            CmpKind::Lt => (a as i64) < (b as i64),
+            CmpKind::Le => (a as i64) <= (b as i64),
+            CmpKind::Gt => (a as i64) > (b as i64),
+            CmpKind::Ge => (a as i64) >= (b as i64),
+            CmpKind::Ltu => a < b,
+            CmpKind::Geu => a >= b,
+        }
+    }
+
+    /// Evaluates the condition on two floating-point operands.
+    ///
+    /// NaN compares false under every condition except [`CmpKind::Ne`],
+    /// matching IEEE-754 unordered-comparison semantics.
+    #[must_use]
+    pub fn eval_fp(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpKind::Eq => a == b,
+            CmpKind::Ne => a != b,
+            CmpKind::Lt => a < b,
+            CmpKind::Le => a <= b,
+            CmpKind::Gt => a > b,
+            CmpKind::Ge => a >= b,
+            CmpKind::Ltu => a < b,
+            CmpKind::Geu => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for CmpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpKind::Eq => "eq",
+            CmpKind::Ne => "ne",
+            CmpKind::Lt => "lt",
+            CmpKind::Le => "le",
+            CmpKind::Gt => "gt",
+            CmpKind::Ge => "ge",
+            CmpKind::Ltu => "ltu",
+            CmpKind::Geu => "geu",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Access width of an integer memory operation, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemSize {
+    /// 1 byte.
+    B1,
+    /// 2 bytes.
+    B2,
+    /// 4 bytes.
+    B4,
+    /// 8 bytes.
+    B8,
+}
+
+impl MemSize {
+    /// The access width in bytes.
+    #[must_use]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            MemSize::B1 => 1,
+            MemSize::B2 => 2,
+            MemSize::B4 => 4,
+            MemSize::B8 => 8,
+        }
+    }
+}
+
+/// The functional-unit class an operation executes on.
+///
+/// The simulated machine (paper Table 1) provides per-cycle issue slots for
+/// 5 ALU, 3 memory, 3 floating-point, and 3 branch operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FuClass {
+    /// Integer ALU (arithmetic, logic, compares, moves).
+    Alu,
+    /// Memory port (loads and stores, integer and FP).
+    Mem,
+    /// Floating-point unit.
+    Fp,
+    /// Branch unit.
+    Branch,
+}
+
+/// Coarse latency class of an operation; the pipeline configuration maps
+/// each class to a cycle count.
+///
+/// Loads are *variable* latency — the memory hierarchy decides — so they
+/// carry no fixed class value here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LatencyClass {
+    /// Single-cycle integer operation.
+    Int,
+    /// Pipelined integer multiply.
+    Mul,
+    /// Pipelined FP add/sub/mul/convert/compare.
+    FpArith,
+    /// Unpipelined FP divide.
+    FpDiv,
+    /// Load: latency determined by the memory hierarchy.
+    Load,
+    /// Store: occupies a memory port for one cycle.
+    Store,
+    /// Branch: direction known at execute.
+    Branch,
+}
+
+/// A machine operation together with its operand fields.
+///
+/// Every variant names the registers it reads and writes directly; use
+/// [`Opcode::sources`] / [`Opcode::dests`] for generic dependence walks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)] // operand fields are self-describing (d/a/b/imm/base/off)
+pub enum Opcode {
+    // ---- integer ALU -------------------------------------------------
+    /// `d = a + b`
+    Add { d: IntReg, a: IntReg, b: IntReg },
+    /// `d = a + imm`
+    AddI { d: IntReg, a: IntReg, imm: i64 },
+    /// `d = a - b`
+    Sub { d: IntReg, a: IntReg, b: IntReg },
+    /// `d = a & b`
+    And { d: IntReg, a: IntReg, b: IntReg },
+    /// `d = a & imm`
+    AndI { d: IntReg, a: IntReg, imm: i64 },
+    /// `d = a | b`
+    Or { d: IntReg, a: IntReg, b: IntReg },
+    /// `d = a ^ b`
+    Xor { d: IntReg, a: IntReg, b: IntReg },
+    /// `d = a ^ imm`
+    XorI { d: IntReg, a: IntReg, imm: i64 },
+    /// `d = a << (b & 63)`
+    Shl { d: IntReg, a: IntReg, b: IntReg },
+    /// `d = a << sh`
+    ShlI { d: IntReg, a: IntReg, sh: u8 },
+    /// `d = a >> (b & 63)` (logical)
+    Shr { d: IntReg, a: IntReg, b: IntReg },
+    /// `d = a >> sh` (logical)
+    ShrI { d: IntReg, a: IntReg, sh: u8 },
+    /// `d = a * b` (wrapping, low 64 bits)
+    Mul { d: IntReg, a: IntReg, b: IntReg },
+    /// `d = a`
+    Mov { d: IntReg, a: IntReg },
+    /// `d = imm`
+    MovI { d: IntReg, imm: i64 },
+    /// `pt = cmp(a, b); pf = !cmp(a, b)`
+    Cmp {
+        kind: CmpKind,
+        pt: PredReg,
+        pf: PredReg,
+        a: IntReg,
+        b: IntReg,
+    },
+    /// `pt = cmp(a, imm); pf = !cmp(a, imm)`
+    CmpI {
+        kind: CmpKind,
+        pt: PredReg,
+        pf: PredReg,
+        a: IntReg,
+        imm: i64,
+    },
+
+    // ---- memory ------------------------------------------------------
+    /// `d = mem[a + off]` (zero- or sign-extended to 64 bits)
+    Ld {
+        d: IntReg,
+        base: IntReg,
+        off: i64,
+        size: MemSize,
+        signed: bool,
+    },
+    /// `mem[base + off] = src` (low `size` bytes)
+    St {
+        src: IntReg,
+        base: IntReg,
+        off: i64,
+        size: MemSize,
+    },
+    /// `d = mem[base + off]` as an 8-byte IEEE-754 double
+    LdF { d: FpReg, base: IntReg, off: i64 },
+    /// `mem[base + off] = src` as an 8-byte IEEE-754 double
+    StF { src: FpReg, base: IntReg, off: i64 },
+
+    // ---- floating point ------------------------------------------------
+    /// `d = a + b`
+    FAdd { d: FpReg, a: FpReg, b: FpReg },
+    /// `d = a - b`
+    FSub { d: FpReg, a: FpReg, b: FpReg },
+    /// `d = a * b`
+    FMul { d: FpReg, a: FpReg, b: FpReg },
+    /// `d = a / b`
+    FDiv { d: FpReg, a: FpReg, b: FpReg },
+    /// `d = a`
+    FMov { d: FpReg, a: FpReg },
+    /// `d = imm`
+    FMovI { d: FpReg, imm: f64 },
+    /// `d = (f64) a` — integer-to-FP convert (signed)
+    ICvtF { d: FpReg, a: IntReg },
+    /// `d = (i64) a` — FP-to-integer convert (truncating)
+    FCvtI { d: IntReg, a: FpReg },
+    /// `pt = cmp(a, b); pf = !cmp(a, b)` on FP operands
+    FCmp {
+        kind: CmpKind,
+        pt: PredReg,
+        pf: PredReg,
+        a: FpReg,
+        b: FpReg,
+    },
+
+    // ---- control ------------------------------------------------------
+    /// Branch to the issue group starting at instruction index `target`.
+    ///
+    /// With a qualifying predicate on the instruction this is a
+    /// conditional branch; without one it is unconditional.
+    Br { target: usize },
+    /// Terminates the program.
+    Halt,
+    /// No operation (occupies an ALU slot).
+    Nop,
+}
+
+/// A fixed-capacity list of register names, used for source/dest walks
+/// without heap allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegList {
+    regs: [Option<RegId>; 4],
+    len: u8,
+}
+
+impl RegList {
+    pub(crate) fn push(&mut self, r: impl Into<RegId>) {
+        self.regs[self.len as usize] = Some(r.into());
+        self.len += 1;
+    }
+
+    /// Number of registers in the list.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the list is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the registers in the list.
+    pub fn iter(&self) -> impl Iterator<Item = RegId> + '_ {
+        self.regs.iter().take(self.len as usize).map(|r| r.unwrap())
+    }
+
+    /// Whether the list contains `r`.
+    #[must_use]
+    pub fn contains(&self, r: RegId) -> bool {
+        self.iter().any(|x| x == r)
+    }
+}
+
+impl IntoIterator for RegList {
+    type Item = RegId;
+    type IntoIter = IntoIter;
+
+    fn into_iter(self) -> IntoIter {
+        IntoIter { list: self, at: 0 }
+    }
+}
+
+/// Owning iterator for [`RegList`].
+#[derive(Debug, Clone)]
+pub struct IntoIter {
+    list: RegList,
+    at: u8,
+}
+
+impl Iterator for IntoIter {
+    type Item = RegId;
+
+    fn next(&mut self) -> Option<RegId> {
+        if self.at < self.list.len {
+            let r = self.list.regs[self.at as usize];
+            self.at += 1;
+            r
+        } else {
+            None
+        }
+    }
+}
+
+impl Opcode {
+    /// The registers this operation reads, excluding any qualifying
+    /// predicate (which lives on the [`crate::insn::Instruction`]).
+    #[must_use]
+    pub fn sources(&self) -> RegList {
+        use Opcode::*;
+        let mut l = RegList::default();
+        match *self {
+            Add { a, b, .. } | Sub { a, b, .. } | And { a, b, .. } | Or { a, b, .. }
+            | Xor { a, b, .. } | Shl { a, b, .. } | Shr { a, b, .. } | Mul { a, b, .. } => {
+                l.push(a);
+                l.push(b);
+            }
+            AddI { a, .. } | AndI { a, .. } | XorI { a, .. } | ShlI { a, .. }
+            | ShrI { a, .. } | Mov { a, .. } => l.push(a),
+            MovI { .. } | FMovI { .. } | Br { .. } | Halt | Nop => {}
+            Cmp { a, b, .. } => {
+                l.push(a);
+                l.push(b);
+            }
+            CmpI { a, .. } => l.push(a),
+            Ld { base, .. } | LdF { base, .. } => l.push(base),
+            St { src, base, .. } => {
+                l.push(src);
+                l.push(base);
+            }
+            StF { src, base, .. } => {
+                l.push(src);
+                l.push(base);
+            }
+            FAdd { a, b, .. } | FSub { a, b, .. } | FMul { a, b, .. } | FDiv { a, b, .. } => {
+                l.push(a);
+                l.push(b);
+            }
+            FMov { a, .. } => l.push(a),
+            ICvtF { a, .. } => l.push(a),
+            FCvtI { a, .. } => l.push(a),
+            FCmp { a, b, .. } => {
+                l.push(a);
+                l.push(b);
+            }
+        }
+        l
+    }
+
+    /// The registers this operation writes.
+    #[must_use]
+    pub fn dests(&self) -> RegList {
+        use Opcode::*;
+        let mut l = RegList::default();
+        match *self {
+            Add { d, .. } | AddI { d, .. } | Sub { d, .. } | And { d, .. } | AndI { d, .. }
+            | Or { d, .. } | Xor { d, .. } | XorI { d, .. } | Shl { d, .. } | ShlI { d, .. }
+            | Shr { d, .. } | ShrI { d, .. } | Mul { d, .. } | Mov { d, .. } | MovI { d, .. }
+            | Ld { d, .. } | FCvtI { d, .. } => l.push(d),
+            Cmp { pt, pf, .. } | CmpI { pt, pf, .. } | FCmp { pt, pf, .. } => {
+                l.push(pt);
+                l.push(pf);
+            }
+            LdF { d, .. } | FAdd { d, .. } | FSub { d, .. } | FMul { d, .. } | FDiv { d, .. }
+            | FMov { d, .. } | FMovI { d, .. } | ICvtF { d, .. } => l.push(d),
+            St { .. } | StF { .. } | Br { .. } | Halt | Nop => {}
+        }
+        l
+    }
+
+    /// The functional-unit class this operation issues to.
+    #[must_use]
+    pub fn fu_class(&self) -> FuClass {
+        use Opcode::*;
+        match self {
+            Ld { .. } | St { .. } | LdF { .. } | StF { .. } => FuClass::Mem,
+            FAdd { .. } | FSub { .. } | FMul { .. } | FDiv { .. } | FMov { .. }
+            | FMovI { .. } | ICvtF { .. } | FCvtI { .. } | FCmp { .. } => FuClass::Fp,
+            Br { .. } | Halt => FuClass::Branch,
+            _ => FuClass::Alu,
+        }
+    }
+
+    /// The latency class of this operation.
+    #[must_use]
+    pub fn latency_class(&self) -> LatencyClass {
+        use Opcode::*;
+        match self {
+            Mul { .. } => LatencyClass::Mul,
+            FAdd { .. } | FSub { .. } | FMul { .. } | FMov { .. } | FMovI { .. }
+            | ICvtF { .. } | FCvtI { .. } | FCmp { .. } => LatencyClass::FpArith,
+            FDiv { .. } => LatencyClass::FpDiv,
+            Ld { .. } | LdF { .. } => LatencyClass::Load,
+            St { .. } | StF { .. } => LatencyClass::Store,
+            Br { .. } | Halt => LatencyClass::Branch,
+            _ => LatencyClass::Int,
+        }
+    }
+
+    /// Whether this operation is a load (integer or FP).
+    #[must_use]
+    pub fn is_load(&self) -> bool {
+        matches!(self, Opcode::Ld { .. } | Opcode::LdF { .. })
+    }
+
+    /// Whether this operation is a store (integer or FP).
+    #[must_use]
+    pub fn is_store(&self) -> bool {
+        matches!(self, Opcode::St { .. } | Opcode::StF { .. })
+    }
+
+    /// Whether this operation is a branch.
+    #[must_use]
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Opcode::Br { .. })
+    }
+
+    /// Whether this operation uses the floating-point subpipeline.
+    #[must_use]
+    pub fn is_fp(&self) -> bool {
+        self.fu_class() == FuClass::Fp
+    }
+
+    /// The mnemonic for display purposes.
+    #[must_use]
+    pub fn mnemonic(&self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Add { .. } => "add",
+            AddI { .. } => "addi",
+            Sub { .. } => "sub",
+            And { .. } => "and",
+            AndI { .. } => "andi",
+            Or { .. } => "or",
+            Xor { .. } => "xor",
+            XorI { .. } => "xori",
+            Shl { .. } => "shl",
+            ShlI { .. } => "shli",
+            Shr { .. } => "shr",
+            ShrI { .. } => "shri",
+            Mul { .. } => "mul",
+            Mov { .. } => "mov",
+            MovI { .. } => "movi",
+            Cmp { .. } => "cmp",
+            CmpI { .. } => "cmpi",
+            Ld { .. } => "ld",
+            St { .. } => "st",
+            LdF { .. } => "ldf",
+            StF { .. } => "stf",
+            FAdd { .. } => "fadd",
+            FSub { .. } => "fsub",
+            FMul { .. } => "fmul",
+            FDiv { .. } => "fdiv",
+            FMov { .. } => "fmov",
+            FMovI { .. } => "fmovi",
+            ICvtF { .. } => "icvtf",
+            FCvtI { .. } => "fcvti",
+            FCmp { .. } => "fcmp",
+            Br { .. } => "br",
+            Halt => "halt",
+            Nop => "nop",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Opcode::*;
+        match *self {
+            Add { d, a, b } => write!(f, "add {d} = {a}, {b}"),
+            AddI { d, a, imm } => write!(f, "addi {d} = {a}, {imm}"),
+            Sub { d, a, b } => write!(f, "sub {d} = {a}, {b}"),
+            And { d, a, b } => write!(f, "and {d} = {a}, {b}"),
+            AndI { d, a, imm } => write!(f, "andi {d} = {a}, {imm:#x}"),
+            Or { d, a, b } => write!(f, "or {d} = {a}, {b}"),
+            Xor { d, a, b } => write!(f, "xor {d} = {a}, {b}"),
+            XorI { d, a, imm } => write!(f, "xori {d} = {a}, {imm:#x}"),
+            Shl { d, a, b } => write!(f, "shl {d} = {a}, {b}"),
+            ShlI { d, a, sh } => write!(f, "shli {d} = {a}, {sh}"),
+            Shr { d, a, b } => write!(f, "shr {d} = {a}, {b}"),
+            ShrI { d, a, sh } => write!(f, "shri {d} = {a}, {sh}"),
+            Mul { d, a, b } => write!(f, "mul {d} = {a}, {b}"),
+            Mov { d, a } => write!(f, "mov {d} = {a}"),
+            MovI { d, imm } => write!(f, "movi {d} = {imm}"),
+            Cmp { kind, pt, pf, a, b } => write!(f, "cmp.{kind} {pt}, {pf} = {a}, {b}"),
+            CmpI { kind, pt, pf, a, imm } => write!(f, "cmpi.{kind} {pt}, {pf} = {a}, {imm}"),
+            Ld { d, base, off, size, signed } => {
+                let s = if signed { "s" } else { "" };
+                write!(f, "ld{}{s} {d} = [{base} + {off}]", size.bytes())
+            }
+            St { src, base, off, size } => {
+                write!(f, "st{} [{base} + {off}] = {src}", size.bytes())
+            }
+            LdF { d, base, off } => write!(f, "ldf {d} = [{base} + {off}]"),
+            StF { src, base, off } => write!(f, "stf [{base} + {off}] = {src}"),
+            FAdd { d, a, b } => write!(f, "fadd {d} = {a}, {b}"),
+            FSub { d, a, b } => write!(f, "fsub {d} = {a}, {b}"),
+            FMul { d, a, b } => write!(f, "fmul {d} = {a}, {b}"),
+            FDiv { d, a, b } => write!(f, "fdiv {d} = {a}, {b}"),
+            FMov { d, a } => write!(f, "fmov {d} = {a}"),
+            FMovI { d, imm } => write!(f, "fmovi {d} = {imm}"),
+            ICvtF { d, a } => write!(f, "icvtf {d} = {a}"),
+            FCvtI { d, a } => write!(f, "fcvti {d} = {a}"),
+            FCmp { kind, pt, pf, a, b } => write!(f, "fcmp.{kind} {pt}, {pf} = {a}, {b}"),
+            Br { target } => write!(f, "br {target}"),
+            Halt => write!(f, "halt"),
+            Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> IntReg {
+        IntReg::n(i)
+    }
+
+    #[test]
+    fn cmp_kind_signed_vs_unsigned() {
+        let neg1 = u64::MAX;
+        assert!(CmpKind::Lt.eval_int(neg1, 0)); // -1 < 0 signed
+        assert!(!CmpKind::Ltu.eval_int(neg1, 0)); // max > 0 unsigned
+        assert!(CmpKind::Geu.eval_int(neg1, 0));
+        assert!(CmpKind::Ge.eval_int(0, neg1));
+    }
+
+    #[test]
+    fn cmp_kind_fp_nan_is_unordered() {
+        assert!(!CmpKind::Eq.eval_fp(f64::NAN, f64::NAN));
+        assert!(CmpKind::Ne.eval_fp(f64::NAN, 1.0));
+        assert!(!CmpKind::Lt.eval_fp(f64::NAN, 1.0));
+    }
+
+    #[test]
+    fn sources_and_dests_of_three_operand_alu() {
+        let op = Opcode::Add { d: r(1), a: r(2), b: r(3) };
+        let srcs: Vec<_> = op.sources().into_iter().collect();
+        assert_eq!(srcs, vec![RegId::Int(r(2)), RegId::Int(r(3))]);
+        let dests: Vec<_> = op.dests().into_iter().collect();
+        assert_eq!(dests, vec![RegId::Int(r(1))]);
+    }
+
+    #[test]
+    fn cmp_writes_two_predicates() {
+        let op = Opcode::CmpI {
+            kind: CmpKind::Eq,
+            pt: PredReg::n(1),
+            pf: PredReg::n(2),
+            a: r(4),
+            imm: 0,
+        };
+        assert_eq!(op.dests().len(), 2);
+        assert!(op.dests().contains(RegId::Pred(PredReg::n(1))));
+        assert!(op.dests().contains(RegId::Pred(PredReg::n(2))));
+    }
+
+    #[test]
+    fn store_reads_data_and_base() {
+        let op = Opcode::St { src: r(5), base: r(6), off: 8, size: MemSize::B8 };
+        assert_eq!(op.sources().len(), 2);
+        assert!(op.dests().is_empty());
+        assert!(op.is_store());
+        assert!(!op.is_load());
+        assert_eq!(op.fu_class(), FuClass::Mem);
+    }
+
+    #[test]
+    fn fu_and_latency_classes() {
+        assert_eq!(Opcode::Nop.fu_class(), FuClass::Alu);
+        assert_eq!(
+            Opcode::FDiv { d: FpReg::n(1), a: FpReg::n(2), b: FpReg::n(3) }.latency_class(),
+            LatencyClass::FpDiv
+        );
+        assert_eq!(Opcode::Br { target: 0 }.fu_class(), FuClass::Branch);
+        assert_eq!(
+            Opcode::Mul { d: r(1), a: r(1), b: r(1) }.latency_class(),
+            LatencyClass::Mul
+        );
+        assert_eq!(
+            Opcode::Ld { d: r(1), base: r(2), off: 0, size: MemSize::B8, signed: false }
+                .latency_class(),
+            LatencyClass::Load
+        );
+    }
+
+    #[test]
+    fn display_formats_assembly_like() {
+        let op = Opcode::Ld { d: r(4), base: r(2), off: 16, size: MemSize::B4, signed: false };
+        assert_eq!(op.to_string(), "ld4 r4 = [r2 + 16]");
+        let br = Opcode::Br { target: 12 };
+        assert_eq!(br.to_string(), "br 12");
+    }
+
+    #[test]
+    fn reg_list_capacity_handles_max_operands() {
+        let mut l = RegList::default();
+        l.push(r(0));
+        l.push(r(1));
+        l.push(r(2));
+        l.push(r(3));
+        assert_eq!(l.len(), 4);
+        assert!(!l.is_empty());
+    }
+}

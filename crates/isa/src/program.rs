@@ -1,0 +1,360 @@
+//! Programs: validated, fully scheduled instruction sequences.
+
+use crate::insn::Instruction;
+use crate::op::Opcode;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error found while validating a [`Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateProgramError {
+    /// The program contains no instructions.
+    Empty,
+    /// A branch at `pc` targets an instruction index outside the program.
+    TargetOutOfRange {
+        /// Location of the offending branch.
+        pc: usize,
+        /// The out-of-range target.
+        target: usize,
+    },
+    /// A branch at `pc` targets `target`, which is not the first
+    /// instruction of an issue group.
+    TargetNotGroupStart {
+        /// Location of the offending branch.
+        pc: usize,
+        /// The misaligned target.
+        target: usize,
+    },
+    /// No `halt` is reachable by falling off the end: the final
+    /// instruction must be `halt` or an unconditional branch.
+    MissingTerminator,
+}
+
+impl fmt::Display for ValidateProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateProgramError::Empty => write!(f, "program is empty"),
+            ValidateProgramError::TargetOutOfRange { pc, target } => {
+                write!(f, "branch at {pc} targets out-of-range index {target}")
+            }
+            ValidateProgramError::TargetNotGroupStart { pc, target } => {
+                write!(f, "branch at {pc} targets {target}, which is not an issue-group start")
+            }
+            ValidateProgramError::MissingTerminator => {
+                write!(f, "final instruction must be `halt` or an unconditional branch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateProgramError {}
+
+/// A validated, fully scheduled program.
+///
+/// The instruction sequence *is* the compiler's schedule: stop bits
+/// partition it into issue groups, exactly as an EPIC binary encodes
+/// them. Construction via [`Program::new`] validates:
+///
+/// * the program is non-empty and cannot fall off the end,
+/// * every branch target is in range and lands on an issue-group start
+///   (the instruction after a stop bit, or index 0).
+///
+/// # Examples
+///
+/// ```
+/// use ff_isa::{Instruction, Opcode, Program};
+///
+/// let program = Program::new(vec![
+///     Instruction::new(Opcode::Nop).with_stop(),
+///     Instruction::new(Opcode::Halt),
+/// ])?;
+/// assert_eq!(program.len(), 2);
+/// # Ok::<(), ff_isa::ValidateProgramError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    instrs: Vec<Instruction>,
+    /// `group_start[pc]` is true iff `pc` begins an issue group.
+    group_starts: Vec<bool>,
+}
+
+impl Program {
+    /// Validates and wraps an instruction sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateProgramError`] describing the first defect
+    /// found; see the type-level docs for the checked invariants.
+    pub fn new(instrs: Vec<Instruction>) -> Result<Self, ValidateProgramError> {
+        if instrs.is_empty() {
+            return Err(ValidateProgramError::Empty);
+        }
+        let last = instrs.last().expect("non-empty");
+        let terminates = matches!(last.op, Opcode::Halt)
+            || (matches!(last.op, Opcode::Br { .. }) && last.qp.is_none());
+        if !terminates {
+            return Err(ValidateProgramError::MissingTerminator);
+        }
+
+        let mut group_starts = vec![false; instrs.len()];
+        let mut start_of_group = true;
+        for (pc, insn) in instrs.iter().enumerate() {
+            group_starts[pc] = start_of_group;
+            start_of_group = insn.stop;
+        }
+
+        for (pc, insn) in instrs.iter().enumerate() {
+            if let Opcode::Br { target } = insn.op {
+                if target >= instrs.len() {
+                    return Err(ValidateProgramError::TargetOutOfRange { pc, target });
+                }
+                if !group_starts[target] {
+                    return Err(ValidateProgramError::TargetNotGroupStart { pc, target });
+                }
+            }
+        }
+
+        Ok(Program { instrs, group_starts })
+    }
+
+    /// Number of static instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program has no instructions (never true for a
+    /// validated program, but provided for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instruction at `pc`, or `None` past the end.
+    #[must_use]
+    pub fn get(&self, pc: usize) -> Option<&Instruction> {
+        self.instrs.get(pc)
+    }
+
+    /// The instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    #[must_use]
+    pub fn fetch(&self, pc: usize) -> &Instruction {
+        &self.instrs[pc]
+    }
+
+    /// Whether `pc` begins an issue group.
+    #[must_use]
+    pub fn is_group_start(&self, pc: usize) -> bool {
+        self.group_starts.get(pc).copied().unwrap_or(false)
+    }
+
+    /// Iterates over the instructions in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
+        self.instrs.iter()
+    }
+
+    /// The instruction indices that start each issue group, in order.
+    pub fn group_start_pcs(&self) -> impl Iterator<Item = usize> + '_ {
+        self.group_starts
+            .iter()
+            .enumerate()
+            .filter_map(|(pc, &s)| s.then_some(pc))
+    }
+
+    /// Number of static issue groups.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.group_starts.iter().filter(|&&s| s).count()
+    }
+}
+
+/// An intra-issue-group register hazard found by [`check_group_hazards`].
+///
+/// EPIC issue groups are dependence-free by contract: all members read
+/// pre-group register state. A RAW or WAW inside one group would make
+/// hardware group-issue semantics diverge from sequential semantics, so
+/// schedules (hand-written kernels, generated programs) are linted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupHazard {
+    /// Instruction that writes the register.
+    pub writer_pc: usize,
+    /// Later same-group instruction that reads or rewrites it.
+    pub reader_pc: usize,
+}
+
+impl fmt::Display for GroupHazard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "intra-group hazard: instruction {} depends on {} in the same issue group",
+            self.reader_pc, self.writer_pc
+        )
+    }
+}
+
+impl std::error::Error for GroupHazard {}
+
+/// Checks that no issue group contains an intra-group RAW or WAW
+/// register dependence.
+///
+/// # Errors
+///
+/// Returns the first [`GroupHazard`] found.
+pub fn check_group_hazards(program: &Program) -> Result<(), GroupHazard> {
+    let mut writers: Vec<(crate::reg::RegId, usize)> = Vec::new();
+    for (pc, insn) in program.iter().enumerate() {
+        if program.is_group_start(pc) {
+            writers.clear();
+        }
+        for src in insn.sources() {
+            if let Some(&(_, writer_pc)) = writers.iter().find(|(r, _)| *r == src) {
+                return Err(GroupHazard { writer_pc, reader_pc: pc });
+            }
+        }
+        for d in insn.dests() {
+            if let Some(&(_, writer_pc)) = writers.iter().find(|(r, _)| *r == d) {
+                return Err(GroupHazard { writer_pc, reader_pc: pc });
+            }
+        }
+        for d in insn.dests() {
+            writers.push((d, pc));
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (pc, insn) in self.instrs.iter().enumerate() {
+            writeln!(f, "{pc:5}: {insn}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{IntReg, PredReg};
+
+    fn halt() -> Instruction {
+        Instruction::new(Opcode::Halt)
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert_eq!(Program::new(vec![]).unwrap_err(), ValidateProgramError::Empty);
+    }
+
+    #[test]
+    fn program_must_terminate() {
+        let err = Program::new(vec![Instruction::new(Opcode::Nop)]).unwrap_err();
+        assert_eq!(err, ValidateProgramError::MissingTerminator);
+        // A conditional branch can fall through, so it does not terminate.
+        let err = Program::new(vec![
+            Instruction::new(Opcode::Br { target: 0 }).predicated(PredReg::n(1)),
+        ])
+        .unwrap_err();
+        assert_eq!(err, ValidateProgramError::MissingTerminator);
+        // An unconditional branch does.
+        assert!(Program::new(vec![Instruction::new(Opcode::Br { target: 0 })]).is_ok());
+    }
+
+    #[test]
+    fn branch_target_bounds_checked() {
+        let err = Program::new(vec![
+            Instruction::new(Opcode::Br { target: 9 }).with_stop(),
+            halt(),
+        ])
+        .unwrap_err();
+        assert_eq!(err, ValidateProgramError::TargetOutOfRange { pc: 0, target: 9 });
+    }
+
+    #[test]
+    fn branch_target_must_be_group_start() {
+        // Group: [nop, nop;;][halt]; target 1 is mid-group.
+        let err = Program::new(vec![
+            Instruction::new(Opcode::Br { target: 1 }).predicated(PredReg::n(1)),
+            Instruction::new(Opcode::Nop).with_stop(),
+            halt(),
+        ])
+        .unwrap_err();
+        assert_eq!(err, ValidateProgramError::TargetNotGroupStart { pc: 0, target: 1 });
+    }
+
+    #[test]
+    fn group_starts_follow_stop_bits() {
+        let p = Program::new(vec![
+            Instruction::new(Opcode::Nop),
+            Instruction::new(Opcode::Nop).with_stop(),
+            Instruction::new(Opcode::Nop).with_stop(),
+            halt(),
+        ])
+        .unwrap();
+        assert!(p.is_group_start(0));
+        assert!(!p.is_group_start(1));
+        assert!(p.is_group_start(2));
+        assert!(p.is_group_start(3));
+        assert_eq!(p.group_count(), 3);
+        assert_eq!(p.group_start_pcs().collect::<Vec<_>>(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn display_lists_instructions_with_pc() {
+        let p = Program::new(vec![
+            Instruction::new(Opcode::MovI { d: IntReg::n(1), imm: 5 }).with_stop(),
+            halt(),
+        ])
+        .unwrap();
+        let text = p.to_string();
+        assert!(text.contains("0: movi r1 = 5 ;;"));
+        assert!(text.contains("1: halt"));
+    }
+
+    #[test]
+    fn group_hazard_lint_catches_raw_and_waw() {
+        // RAW within a group.
+        let p = Program::new(vec![
+            Instruction::new(Opcode::MovI { d: IntReg::n(1), imm: 1 }),
+            Instruction::new(Opcode::AddI { d: IntReg::n(2), a: IntReg::n(1), imm: 1 })
+                .with_stop(),
+            halt(),
+        ])
+        .unwrap();
+        assert_eq!(
+            check_group_hazards(&p),
+            Err(GroupHazard { writer_pc: 0, reader_pc: 1 })
+        );
+
+        // WAW within a group.
+        let p = Program::new(vec![
+            Instruction::new(Opcode::MovI { d: IntReg::n(1), imm: 1 }),
+            Instruction::new(Opcode::MovI { d: IntReg::n(1), imm: 2 }).with_stop(),
+            halt(),
+        ])
+        .unwrap();
+        assert!(check_group_hazards(&p).is_err());
+
+        // Across groups is fine.
+        let p = Program::new(vec![
+            Instruction::new(Opcode::MovI { d: IntReg::n(1), imm: 1 }).with_stop(),
+            Instruction::new(Opcode::AddI { d: IntReg::n(2), a: IntReg::n(1), imm: 1 })
+                .with_stop(),
+            halt(),
+        ])
+        .unwrap();
+        assert_eq!(check_group_hazards(&p), Ok(()));
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_and_informative() {
+        let err = ValidateProgramError::TargetOutOfRange { pc: 3, target: 10 };
+        let msg = err.to_string();
+        assert!(msg.contains('3') && msg.contains("10"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+}

@@ -1,0 +1,328 @@
+//! Set-associative cache tag arrays.
+//!
+//! The simulator tracks hit/miss behaviour and dirty-line eviction; data
+//! itself lives in the functional [`ff_isa::MemoryImage`]. Tags update at
+//! access time ("fill on access") while the latency of a miss is charged
+//! by the pipeline's timing model — the standard split for cycle-level
+//! simulators of this class.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u64,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+}
+
+/// Error from [`CacheGeometry::validate`] / [`Cache::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometryError {
+    /// A field was zero or line size was not a power of two.
+    Malformed,
+    /// `size_bytes` is not divisible by `ways * line_bytes`.
+    NotDivisible,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::Malformed => {
+                write!(f, "geometry fields must be nonzero and line size a power of two")
+            }
+            GeometryError::NotDivisible => {
+                write!(f, "cache size must divide evenly into sets of `ways` lines")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+impl CacheGeometry {
+    /// Creates a geometry.
+    #[must_use]
+    pub const fn new(size_bytes: u64, ways: u64, line_bytes: u64) -> Self {
+        CacheGeometry { size_bytes, ways, line_bytes }
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] when fields are zero, the line size is
+    /// not a power of two, or capacity does not divide into whole sets.
+    pub fn validate(&self) -> Result<(), GeometryError> {
+        if self.size_bytes == 0
+            || self.ways == 0
+            || self.line_bytes == 0
+            || !self.line_bytes.is_power_of_two()
+        {
+            return Err(GeometryError::Malformed);
+        }
+        if self.size_bytes % (self.ways * self.line_bytes) != 0 {
+            return Err(GeometryError::NotDivisible);
+        }
+        Ok(())
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+
+    /// The line-aligned address containing `addr`.
+    #[must_use]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr & !(self.line_bytes - 1)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    /// LRU stamp: larger is more recent.
+    lru: u64,
+}
+
+/// Result of a cache lookup-with-fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// Line-aligned address of a dirty line evicted by the fill, if any.
+    pub writeback: Option<u64>,
+}
+
+/// One level of set-associative, write-back, write-allocate cache with
+/// LRU replacement (tag state only).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geometry: CacheGeometry,
+    sets: Vec<Way>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] if the geometry is inconsistent.
+    pub fn new(geometry: CacheGeometry) -> Result<Self, GeometryError> {
+        geometry.validate()?;
+        let n = (geometry.sets() * geometry.ways) as usize;
+        Ok(Cache { geometry, sets: vec![Way::default(); n], clock: 0, hits: 0, misses: 0 })
+    }
+
+    /// The cache's geometry.
+    #[must_use]
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Lookup hits recorded so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup misses recorded so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn set_range(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.geometry.line_bytes;
+        let set = line % self.geometry.sets();
+        let tag = line / self.geometry.sets();
+        ((set * self.geometry.ways) as usize, tag)
+    }
+
+    /// Probes for `addr` without modifying state or statistics.
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let (base, tag) = self.set_range(addr);
+        self.sets[base..base + self.geometry.ways as usize]
+            .iter()
+            .any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Accesses `addr`, filling on miss, touching LRU, updating stats.
+    ///
+    /// `is_write` marks the (present-after-access) line dirty.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessResult {
+        self.clock += 1;
+        let (base, tag) = self.set_range(addr);
+        let ways = &mut self.sets[base..base + self.geometry.ways as usize];
+
+        if let Some(way) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.lru = self.clock;
+            way.dirty |= is_write;
+            self.hits += 1;
+            return AccessResult { hit: true, writeback: None };
+        }
+        self.misses += 1;
+
+        // Choose victim: first invalid way, else least-recently-used.
+        let victim = ways
+            .iter()
+            .position(|w| !w.valid)
+            .unwrap_or_else(|| {
+                ways.iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.lru)
+                    .map(|(i, _)| i)
+                    .expect("nonzero ways")
+            });
+        let w = &mut ways[victim];
+        let writeback = (w.valid && w.dirty).then(|| {
+            let sets = self.geometry.sets();
+            let set = (addr / self.geometry.line_bytes) % sets;
+            (w.tag * sets + set) * self.geometry.line_bytes
+        });
+        *w = Way { valid: true, dirty: is_write, tag, lru: self.clock };
+        AccessResult { hit: false, writeback }
+    }
+
+    /// Invalidates the line containing `addr` if present. Returns whether
+    /// a line was invalidated.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let (base, tag) = self.set_range(addr);
+        for w in &mut self.sets[base..base + self.geometry.ways as usize] {
+            if w.valid && w.tag == tag {
+                w.valid = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Clears all lines and statistics.
+    pub fn reset(&mut self) {
+        self.sets.fill(Way::default());
+        self.clock = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 64B = 512B
+        Cache::new(CacheGeometry::new(512, 2, 64)).unwrap()
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(CacheGeometry::new(0, 1, 64).validate().is_err());
+        assert!(CacheGeometry::new(512, 2, 60).validate().is_err());
+        assert!(CacheGeometry::new(500, 2, 64).validate().is_err());
+        assert!(CacheGeometry::new(512, 2, 64).validate().is_ok());
+        assert_eq!(CacheGeometry::new(512, 2, 64).sets(), 4);
+    }
+
+    #[test]
+    fn line_of_masks_low_bits() {
+        let g = CacheGeometry::new(512, 2, 64);
+        assert_eq!(g.line_of(0x7F), 0x40);
+        assert_eq!(g.line_of(0x40), 0x40);
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = small();
+        assert!(!c.access(0x1000, false).hit);
+        assert!(c.access(0x1000, false).hit);
+        assert!(c.access(0x103F, false).hit, "same 64B line");
+        assert!(!c.access(0x1040, false).hit, "next line");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_way() {
+        let mut c = small();
+        // Three lines mapping to the same set (set stride = 4 lines * 64B = 256B).
+        let (a, b, d) = (0x0000, 0x0100, 0x0200);
+        c.access(a, false);
+        c.access(b, false);
+        c.access(a, false); // refresh a
+        c.access(d, false); // evicts b
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback_address() {
+        let mut c = small();
+        let (a, b, d) = (0x0000u64, 0x0100, 0x0200);
+        c.access(a, true); // dirty
+        c.access(b, false);
+        let res = c.access(d, false); // evicts a (LRU)
+        assert_eq!(res.writeback, Some(a));
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = small();
+        c.access(0x0000, false);
+        c.access(0x0100, false);
+        let res = c.access(0x0200, false);
+        assert_eq!(res.writeback, None);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty_for_later_eviction() {
+        let mut c = small();
+        c.access(0x0000, false);
+        c.access(0x0000, true); // now dirty
+        c.access(0x0100, false);
+        let res = c.access(0x0200, false);
+        assert_eq!(res.writeback, Some(0x0000));
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small();
+        c.access(0x80, false);
+        assert!(c.invalidate(0x80));
+        assert!(!c.probe(0x80));
+        assert!(!c.invalidate(0x80));
+    }
+
+    #[test]
+    fn probe_does_not_disturb_state() {
+        let mut c = small();
+        c.access(0x0, false);
+        let h = c.hits();
+        let m = c.misses();
+        assert!(c.probe(0x0));
+        assert!(!c.probe(0x4000));
+        assert_eq!((c.hits(), c.misses()), (h, m));
+    }
+
+    #[test]
+    fn reset_clears_contents() {
+        let mut c = small();
+        c.access(0x0, true);
+        c.reset();
+        assert!(!c.probe(0x0));
+        assert_eq!(c.misses(), 0);
+    }
+}

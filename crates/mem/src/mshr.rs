@@ -1,0 +1,188 @@
+//! Miss-status holding registers: the outstanding-load limiter.
+//!
+//! The paper's machine allows at most 16 outstanding loads (Table 1).
+//! [`MshrFile`] tracks in-flight cache-line fills by completion cycle and
+//! merges accesses to a line that is already being fetched — the second
+//! requester simply inherits the in-flight fill's completion time.
+
+use serde::{Deserialize, Serialize};
+
+/// One in-flight line fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Entry {
+    line: u64,
+    done_at: u64,
+}
+
+/// Statistics kept by the MSHR file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MshrStats {
+    /// Fills allocated.
+    pub allocations: u64,
+    /// Requests merged into an existing in-flight fill.
+    pub merges: u64,
+    /// Requests rejected because the file was full.
+    pub full_rejections: u64,
+}
+
+/// A finite file of miss-status holding registers.
+///
+/// # Examples
+///
+/// ```
+/// use ff_mem::MshrFile;
+///
+/// let mut mshrs = MshrFile::new(2);
+/// assert_eq!(mshrs.request(/*now=*/0, /*line=*/0x40, /*done_at=*/100), Some(100));
+/// // A second access to the same in-flight line merges:
+/// assert_eq!(mshrs.request(3, 0x40, 103), Some(100));
+/// // Capacity is per distinct line:
+/// assert_eq!(mshrs.request(4, 0x80, 104), Some(104));
+/// assert_eq!(mshrs.request(5, 0xC0, 105), None); // full
+/// // Once fills complete, capacity frees up:
+/// assert_eq!(mshrs.request(101, 0xC0, 201), Some(201));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: Vec<Entry>,
+    stats: MshrStats,
+}
+
+impl MshrFile {
+    /// Creates a file with room for `capacity` distinct in-flight lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be nonzero");
+        MshrFile { capacity, entries: Vec::with_capacity(capacity), stats: MshrStats::default() }
+    }
+
+    /// Capacity in distinct lines.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> MshrStats {
+        self.stats
+    }
+
+    /// Entries still in flight at cycle `now`.
+    #[must_use]
+    pub fn outstanding(&self, now: u64) -> usize {
+        self.entries.iter().filter(|e| e.done_at > now).count()
+    }
+
+    fn expire(&mut self, now: u64) {
+        self.entries.retain(|e| e.done_at > now);
+    }
+
+    /// Requests a fill of `line`, completing at `done_at`, at cycle `now`.
+    ///
+    /// Returns the cycle at which the data will be available, or `None`
+    /// if the file is full (the requester must retry — a *resource
+    /// stall*). Requests for an already-in-flight line merge and return
+    /// the existing completion time.
+    pub fn request(&mut self, now: u64, line: u64, done_at: u64) -> Option<u64> {
+        self.expire(now);
+        if let Some(e) = self.entries.iter().find(|e| e.line == line) {
+            self.stats.merges += 1;
+            return Some(e.done_at);
+        }
+        if self.entries.len() >= self.capacity {
+            self.stats.full_rejections += 1;
+            return None;
+        }
+        self.entries.push(Entry { line, done_at });
+        self.stats.allocations += 1;
+        Some(done_at)
+    }
+
+    /// Whether a new distinct line could be accepted at cycle `now`.
+    #[must_use]
+    pub fn has_room(&self, now: u64) -> bool {
+        self.entries.iter().filter(|e| e.done_at > now).count() < self.capacity
+    }
+
+    /// If `line` is still being filled at cycle `now`, returns the fill's
+    /// completion cycle.
+    ///
+    /// Cache tag arrays fill at access time in this simulator, so a
+    /// subsequent access can "hit" a line whose data is still in flight;
+    /// callers must clamp such hits to the in-flight fill's completion.
+    #[must_use]
+    pub fn pending(&self, now: u64, line: u64) -> Option<u64> {
+        self.entries.iter().find(|e| e.line == line && e.done_at > now).map(|e| e.done_at)
+    }
+
+    /// Drops all in-flight entries (used on machine reset, not on pipeline
+    /// flush: memory fills continue regardless of squashes).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.stats = MshrStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_returns_existing_completion() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.request(0, 0x100, 50), Some(50));
+        assert_eq!(m.request(10, 0x100, 60), Some(50));
+        assert_eq!(m.stats().merges, 1);
+        assert_eq!(m.stats().allocations, 1);
+    }
+
+    #[test]
+    fn full_file_rejects_new_lines() {
+        let mut m = MshrFile::new(1);
+        assert!(m.request(0, 0x40, 100).is_some());
+        assert!(m.request(1, 0x80, 101).is_none());
+        assert_eq!(m.stats().full_rejections, 1);
+        // merging is still allowed when full
+        assert_eq!(m.request(2, 0x40, 102), Some(100));
+    }
+
+    #[test]
+    fn completion_frees_capacity() {
+        let mut m = MshrFile::new(1);
+        m.request(0, 0x40, 10);
+        assert!(!m.has_room(5));
+        assert!(m.has_room(10), "entry completing at 10 is no longer outstanding at 10");
+        assert_eq!(m.request(10, 0x80, 30), Some(30));
+    }
+
+    #[test]
+    fn outstanding_counts_in_flight_only() {
+        let mut m = MshrFile::new(8);
+        m.request(0, 0x40, 10);
+        m.request(0, 0x80, 20);
+        assert_eq!(m.outstanding(5), 2);
+        assert_eq!(m.outstanding(15), 1);
+        assert_eq!(m.outstanding(25), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        let _ = MshrFile::new(0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = MshrFile::new(2);
+        m.request(0, 0x40, 100);
+        m.reset();
+        assert!(m.has_room(0));
+        assert_eq!(m.stats().allocations, 0);
+    }
+}

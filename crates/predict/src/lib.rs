@@ -1,0 +1,517 @@
+//! # ff-predict — branch-direction prediction substrate
+//!
+//! The paper's machine uses a 1024-entry gshare predictor (Table 1).
+//! This crate provides that predictor plus simpler comparators behind one
+//! trait, [`DirectionPredictor`]. Branch *targets* are not predicted: the
+//! ISA has direct branches only, so the front end extracts the target at
+//! decode with no penalty; direction is the speculated quantity.
+//!
+//! History discipline: `predict` is called at fetch; `update` is called
+//! at in-order branch resolution (architectural retire order), which both
+//! trains the tables and shifts the actual outcome into the global
+//! history. With in-order resolution this keeps history consistent
+//! without speculative-history checkpointing.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use serde::{Deserialize, Serialize};
+
+/// A branch-direction predictor.
+pub trait DirectionPredictor: std::fmt::Debug {
+    /// Predicts the direction of the branch at instruction index `pc`.
+    fn predict(&mut self, pc: u64) -> bool;
+
+    /// Trains the predictor with the resolved direction of the branch at
+    /// `pc`. Called in architectural (retire) order.
+    fn update(&mut self, pc: u64, taken: bool);
+
+    /// Restores power-on state.
+    fn reset(&mut self);
+}
+
+/// Configuration for constructing a predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictorConfig {
+    /// Always predict not-taken.
+    StaticNotTaken,
+    /// Always predict taken.
+    StaticTaken,
+    /// Per-PC 2-bit saturating counters.
+    Bimodal {
+        /// Table size as a power of two (entry count = `1 << bits`).
+        bits: u32,
+    },
+    /// Global-history XOR PC indexed 2-bit counters (the paper's choice,
+    /// 1024 entries = `bits: 10`).
+    Gshare {
+        /// Table size as a power of two (entry count = `1 << bits`).
+        bits: u32,
+    },
+    /// Two-level local predictor: per-PC history registers index a
+    /// shared pattern table of 2-bit counters.
+    Local {
+        /// History-table size as a power of two.
+        bits: u32,
+        /// Bits of per-branch local history.
+        history_bits: u32,
+    },
+    /// Alpha-21264-style tournament: a chooser selects between gshare
+    /// and local per branch.
+    Tournament {
+        /// Size (power of two) used for all three component tables.
+        bits: u32,
+    },
+}
+
+impl PredictorConfig {
+    /// The paper's Table 1 predictor: 1024-entry gshare.
+    #[must_use]
+    pub fn paper_table1() -> Self {
+        PredictorConfig::Gshare { bits: 10 }
+    }
+
+    /// Builds the configured predictor.
+    #[must_use]
+    pub fn build(self) -> Box<dyn DirectionPredictor + Send> {
+        match self {
+            PredictorConfig::StaticNotTaken => Box::new(StaticPredictor::not_taken()),
+            PredictorConfig::StaticTaken => Box::new(StaticPredictor::taken()),
+            PredictorConfig::Bimodal { bits } => Box::new(Bimodal::new(bits)),
+            PredictorConfig::Gshare { bits } => Box::new(Gshare::new(bits)),
+            PredictorConfig::Local { bits, history_bits } => {
+                Box::new(Local::new(bits, history_bits))
+            }
+            PredictorConfig::Tournament { bits } => Box::new(Tournament::new(bits)),
+        }
+    }
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        Self::paper_table1()
+    }
+}
+
+/// Fixed-direction predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticPredictor {
+    direction: bool,
+}
+
+impl StaticPredictor {
+    /// Always predicts not-taken.
+    #[must_use]
+    pub fn not_taken() -> Self {
+        StaticPredictor { direction: false }
+    }
+
+    /// Always predicts taken.
+    #[must_use]
+    pub fn taken() -> Self {
+        StaticPredictor { direction: true }
+    }
+}
+
+impl DirectionPredictor for StaticPredictor {
+    fn predict(&mut self, _pc: u64) -> bool {
+        self.direction
+    }
+
+    fn update(&mut self, _pc: u64, _taken: bool) {}
+
+    fn reset(&mut self) {}
+}
+
+/// Two-bit saturating counter, initialised weakly not-taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Counter2(u8);
+
+impl Counter2 {
+    const WEAK_NT: Counter2 = Counter2(1);
+
+    fn taken(self) -> bool {
+        self.0 >= 2
+    }
+
+    fn train(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+/// Per-PC table of 2-bit counters.
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    table: Vec<Counter2>,
+    mask: u64,
+}
+
+impl Bimodal {
+    /// Creates a `1 << bits`-entry table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 24.
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=24).contains(&bits), "bimodal bits out of range");
+        let n = 1usize << bits;
+        Bimodal { table: vec![Counter2::WEAK_NT; n], mask: (n as u64) - 1 }
+    }
+}
+
+impl DirectionPredictor for Bimodal {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.table[(pc & self.mask) as usize].taken()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        self.table[(pc & self.mask) as usize].train(taken);
+    }
+
+    fn reset(&mut self) {
+        self.table.fill(Counter2::WEAK_NT);
+    }
+}
+
+/// Gshare: global branch history XORed with the PC indexes a table of
+/// 2-bit counters.
+///
+/// # Examples
+///
+/// ```
+/// use ff_predict::{DirectionPredictor, Gshare};
+///
+/// let mut p = Gshare::new(10); // the paper's 1024-entry table
+/// // An always-taken branch trains quickly: once the global history
+/// // saturates to all-taken, its table entry strengthens every pass.
+/// for _ in 0..16 {
+///     let _ = p.predict(100);
+///     p.update(100, true);
+/// }
+/// assert!(p.predict(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    table: Vec<Counter2>,
+    mask: u64,
+    history: u64,
+    history_bits: u32,
+}
+
+impl Gshare {
+    /// Creates a `1 << bits`-entry table with `bits` bits of global
+    /// history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 24.
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=24).contains(&bits), "gshare bits out of range");
+        let n = 1usize << bits;
+        Gshare {
+            table: vec![Counter2::WEAK_NT; n],
+            mask: (n as u64) - 1,
+            history: 0,
+            history_bits: bits,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc ^ self.history) & self.mask) as usize
+    }
+}
+
+impl DirectionPredictor for Gshare {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.table[self.index(pc)].taken()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let idx = self.index(pc);
+        self.table[idx].train(taken);
+        self.history = ((self.history << 1) | u64::from(taken)) & ((1 << self.history_bits) - 1);
+    }
+
+    fn reset(&mut self) {
+        self.table.fill(Counter2::WEAK_NT);
+        self.history = 0;
+    }
+}
+
+/// Two-level local predictor: each branch's own recent history selects
+/// a pattern counter, capturing short per-branch periodic behaviour
+/// that global schemes dilute.
+#[derive(Debug, Clone)]
+pub struct Local {
+    histories: Vec<u64>,
+    patterns: Vec<Counter2>,
+    pc_mask: u64,
+    hist_mask: u64,
+}
+
+impl Local {
+    /// Creates a predictor with `1 << bits` history entries and pattern
+    /// counters, and `history_bits` bits of local history per branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 24, or `history_bits` is 0
+    /// or greater than `bits`.
+    #[must_use]
+    pub fn new(bits: u32, history_bits: u32) -> Self {
+        assert!((1..=24).contains(&bits), "local bits out of range");
+        assert!(history_bits >= 1 && history_bits <= bits, "history bits out of range");
+        let n = 1usize << bits;
+        Local {
+            histories: vec![0; n],
+            patterns: vec![Counter2::WEAK_NT; n],
+            pc_mask: (n as u64) - 1,
+            hist_mask: (1u64 << history_bits) - 1,
+        }
+    }
+
+    fn pattern_index(&self, pc: u64) -> usize {
+        let h = self.histories[(pc & self.pc_mask) as usize];
+        ((h ^ pc) & self.pc_mask) as usize
+    }
+}
+
+impl DirectionPredictor for Local {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.patterns[self.pattern_index(pc)].taken()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let idx = self.pattern_index(pc);
+        self.patterns[idx].train(taken);
+        let h = &mut self.histories[(pc & self.pc_mask) as usize];
+        *h = ((*h << 1) | u64::from(taken)) & self.hist_mask;
+    }
+
+    fn reset(&mut self) {
+        self.histories.fill(0);
+        self.patterns.fill(Counter2::WEAK_NT);
+    }
+}
+
+/// Tournament predictor: a per-PC chooser arbitrates between a gshare
+/// and a local component (Alpha 21264 style).
+#[derive(Debug, Clone)]
+pub struct Tournament {
+    gshare: Gshare,
+    local: Local,
+    /// Chooser counters: taken-state means "trust gshare".
+    chooser: Vec<Counter2>,
+    mask: u64,
+}
+
+impl Tournament {
+    /// Creates a tournament with `1 << bits`-entry component tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 24.
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        let n = 1usize << bits;
+        Tournament {
+            gshare: Gshare::new(bits),
+            local: Local::new(bits, bits.min(10)),
+            chooser: vec![Counter2::WEAK_NT; n],
+            mask: (n as u64) - 1,
+        }
+    }
+}
+
+impl DirectionPredictor for Tournament {
+    fn predict(&mut self, pc: u64) -> bool {
+        let g = self.gshare.predict(pc);
+        let l = self.local.predict(pc);
+        if self.chooser[(pc & self.mask) as usize].taken() {
+            g
+        } else {
+            l
+        }
+    }
+
+    fn update(&mut self, pc: u64, taken: bool) {
+        let g = self.gshare.predict(pc);
+        let l = self.local.predict(pc);
+        // Train the chooser toward whichever component was right, only
+        // when they disagree.
+        if g != l {
+            self.chooser[(pc & self.mask) as usize].train(g == taken);
+        }
+        self.gshare.update(pc, taken);
+        self.local.update(pc, taken);
+    }
+
+    fn reset(&mut self) {
+        self.gshare.reset();
+        self.local.reset();
+        self.chooser.fill(Counter2::WEAK_NT);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_predictors_never_change() {
+        let mut nt = StaticPredictor::not_taken();
+        let mut t = StaticPredictor::taken();
+        for pc in 0..100 {
+            assert!(!nt.predict(pc));
+            assert!(t.predict(pc));
+            nt.update(pc, true);
+            t.update(pc, false);
+        }
+        assert!(!nt.predict(0));
+        assert!(t.predict(0));
+    }
+
+    #[test]
+    fn counter_saturates_both_directions() {
+        let mut c = Counter2::WEAK_NT;
+        for _ in 0..10 {
+            c.train(true);
+        }
+        assert!(c.taken());
+        c.train(false);
+        assert!(c.taken(), "strongly taken needs two wrong outcomes to flip");
+        c.train(false);
+        assert!(!c.taken());
+        for _ in 0..10 {
+            c.train(false);
+        }
+        assert_eq!(c.0, 0);
+    }
+
+    #[test]
+    fn bimodal_learns_biased_branch() {
+        let mut p = Bimodal::new(8);
+        assert!(!p.predict(42), "initialised weakly not-taken");
+        p.update(42, true);
+        p.update(42, true);
+        assert!(p.predict(42));
+        // A different PC is unaffected.
+        assert!(!p.predict(43));
+    }
+
+    #[test]
+    fn gshare_learns_history_correlated_pattern() {
+        // Branch at pc=7 alternates T,N,T,N... — gshare with history
+        // converges to near-perfect accuracy on the alternation.
+        let mut p = Gshare::new(10);
+        let mut correct = 0;
+        let trials = 2000;
+        let mut taken = false;
+        for _ in 0..trials {
+            taken = !taken;
+            if p.predict(7) == taken {
+                correct += 1;
+            }
+            p.update(7, taken);
+        }
+        assert!(
+            correct > trials * 9 / 10,
+            "gshare should capture alternation, got {correct}/{trials}"
+        );
+    }
+
+    #[test]
+    fn gshare_reset_restores_cold_state() {
+        let mut p = Gshare::new(4);
+        for _ in 0..8 {
+            p.update(3, true);
+        }
+        p.reset();
+        assert!(!p.predict(3));
+    }
+
+    #[test]
+    fn config_builds_each_kind() {
+        for cfg in [
+            PredictorConfig::StaticNotTaken,
+            PredictorConfig::StaticTaken,
+            PredictorConfig::Bimodal { bits: 8 },
+            PredictorConfig::paper_table1(),
+            PredictorConfig::Local { bits: 10, history_bits: 8 },
+            PredictorConfig::Tournament { bits: 10 },
+        ] {
+            let mut p = cfg.build();
+            let _ = p.predict(0);
+            p.update(0, true);
+            p.reset();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gshare_rejects_zero_bits() {
+        let _ = Gshare::new(0);
+    }
+
+    #[test]
+    fn local_learns_per_branch_period() {
+        // Branch A strictly alternates while branch B is always taken:
+        // local history separates them even under interleaving.
+        let mut p = Local::new(10, 8);
+        let (mut a_correct, trials) = (0, 2000);
+        let mut a_taken = false;
+        for _ in 0..trials {
+            a_taken = !a_taken;
+            if p.predict(100) == a_taken {
+                a_correct += 1;
+            }
+            p.update(100, a_taken);
+            let _ = p.predict(200);
+            p.update(200, true);
+        }
+        assert!(a_correct > trials * 9 / 10, "local should learn alternation: {a_correct}");
+        assert!(p.predict(200), "and the steady branch");
+    }
+
+    #[test]
+    fn tournament_at_least_matches_gshare_on_mixed_patterns() {
+        // Period-3 local pattern plus a noisy global-correlated branch.
+        let mut t = Tournament::new(10);
+        let mut g = Gshare::new(10);
+        let (mut t_ok, mut g_ok, trials) = (0, 0, 3000);
+        for i in 0..trials {
+            let taken = i % 3 == 0;
+            if t.predict(77) == taken {
+                t_ok += 1;
+            }
+            if g.predict(77) == taken {
+                g_ok += 1;
+            }
+            t.update(77, taken);
+            g.update(77, taken);
+        }
+        assert!(t_ok * 10 >= g_ok * 9, "tournament within 10% of gshare: {t_ok} vs {g_ok}");
+    }
+
+    #[test]
+    fn tournament_reset_restores_cold_state() {
+        let mut t = Tournament::new(6);
+        for _ in 0..32 {
+            t.update(5, true);
+        }
+        t.reset();
+        assert!(!t.predict(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "history bits out of range")]
+    fn local_rejects_oversized_history() {
+        let _ = Local::new(8, 9);
+    }
+}

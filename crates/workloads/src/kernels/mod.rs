@@ -1,0 +1,58 @@
+//! The ten Table 2 benchmark kernels.
+//!
+//! Each submodule builds one hand-scheduled synthetic kernel named for
+//! the SPEC benchmark whose memory/branch character it reproduces. All
+//! kernels observe the EPIC schedule discipline (no intra-group
+//! dependences; load consumers ≥ 2 groups downstream) and are validated
+//! by [`ff_isa::check_group_hazards`] in their tests.
+
+mod compress;
+mod equake;
+mod gap;
+mod go;
+mod li;
+mod mcf;
+mod parser;
+mod twolf;
+mod vortex;
+mod vpr;
+
+pub use compress::compress_like;
+pub use equake::equake_like;
+pub use gap::gap_like;
+pub use go::go_like;
+pub use li::li_like;
+pub use mcf::mcf_like;
+pub use parser::parser_like;
+pub use twolf::twolf_like;
+pub use vortex::vortex_like;
+pub use vpr::vpr_like;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::Workload;
+    use ff_isa::{check_group_hazards, ArchState};
+
+    /// Every kernel must pass the schedule lint, halt within its budget
+    /// on the golden interpreter, and touch memory.
+    pub fn check_kernel(w: &Workload) {
+        check_group_hazards(&w.program).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let mut interp = ArchState::new(&w.program, w.memory.clone());
+        let summary = interp.run(w.budget * 4);
+        assert!(interp.is_halted(), "{} did not halt within 4x budget", w.name);
+        assert!(
+            summary.instrs <= w.budget,
+            "{}: budget {} too small for {} dynamic instructions",
+            w.name,
+            w.budget,
+            summary.instrs
+        );
+        assert!(
+            summary.instrs * 3 > w.budget,
+            "{}: budget {} is overly loose for {} instructions",
+            w.name,
+            w.budget,
+            summary.instrs
+        );
+    }
+}

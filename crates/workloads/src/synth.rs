@@ -1,0 +1,317 @@
+//! Parameterized synthetic kernel construction.
+//!
+//! The ten named kernels in [`crate::kernels`] are fixed reproductions of
+//! the paper's Table 2 benchmarks. [`SynthSpec`] generalizes them: pick a
+//! footprint, an access pattern, dependence-chain lengths, and branch
+//! behaviour, and get a schedule-disciplined [`Workload`] back — useful
+//! for sweeping the two-pass design space beyond the paper's suite
+//! (e.g. "at what miss latency does deferral stop paying?").
+//!
+//! Generated kernels follow the same EPIC discipline as the hand-written
+//! ones: no intra-group hazards and load consumers ≥ 2 groups downstream.
+
+use crate::common::{fill_random_words, shuffled_chain};
+use crate::Workload;
+use ff_isa::reg::{FpReg, IntReg, PredReg};
+use ff_isa::{CmpKind, MemoryImage, ProgramBuilder};
+use serde::{Deserialize, Serialize};
+
+/// How the kernel's loads address its footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Sequential streaming with the given byte stride (independent
+    /// iterations — the A-pipe can run ahead).
+    Stream {
+        /// Bytes between consecutive elements.
+        stride: u64,
+    },
+    /// Pseudo-randomly indexed accesses (independent iterations, no
+    /// spatial locality).
+    RandomIndex,
+    /// A shuffled pointer chase (fully dependent iterations — the
+    /// A-pipe cannot run ahead).
+    PointerChase,
+}
+
+/// Branch behaviour inside the loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BranchBehavior {
+    /// No body branch (only the loop back-edge).
+    None,
+    /// A branch whose direction depends on loaded data bits — roughly
+    /// 50/50 and unlearnable, resolving at B-DET when the load misses.
+    DataDependent,
+}
+
+/// A parameterized synthetic workload description.
+///
+/// # Examples
+///
+/// ```
+/// use ff_workloads::synth::{AccessPattern, BranchBehavior, SynthSpec};
+///
+/// let w = SynthSpec {
+///     iterations: 200,
+///     footprint_bytes: 1 << 20, // 1 MB: L3-resident
+///     access: AccessPattern::Stream { stride: 128 },
+///     alu_chain: 2,
+///     fp_chain: 0,
+///     store_every: true,
+///     branch: BranchBehavior::None,
+///     seed: 7,
+/// }
+/// .build();
+/// assert_eq!(w.name, "synthetic");
+/// assert!(w.budget > 200);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SynthSpec {
+    /// Loop iterations.
+    pub iterations: u64,
+    /// Data footprint in bytes (rounded up to a power of two words).
+    pub footprint_bytes: u64,
+    /// Address pattern of the per-iteration load.
+    pub access: AccessPattern,
+    /// Length of the dependent integer chain consuming the load.
+    pub alu_chain: usize,
+    /// Length of a serial FP chain per iteration (anticipable latencies
+    /// the A-pipe defers).
+    pub fp_chain: usize,
+    /// Whether each iteration writes a result back to its slot.
+    pub store_every: bool,
+    /// Body branch behaviour.
+    pub branch: BranchBehavior,
+    /// Data-initialization seed.
+    pub seed: u64,
+}
+
+impl Default for SynthSpec {
+    fn default() -> Self {
+        SynthSpec {
+            iterations: 256,
+            footprint_bytes: 256 * 1024,
+            access: AccessPattern::Stream { stride: 64 },
+            alu_chain: 2,
+            fp_chain: 0,
+            store_every: false,
+            branch: BranchBehavior::None,
+            seed: 1,
+        }
+    }
+}
+
+const DATA_BASE: u64 = 0x4000_0000;
+
+impl SynthSpec {
+    /// Builds the workload: program + initialized memory + budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is zero or the footprint is under one cache
+    /// line (64 bytes).
+    #[must_use]
+    pub fn build(&self) -> Workload {
+        assert!(self.iterations > 0, "iterations must be nonzero");
+        assert!(self.footprint_bytes >= 64, "footprint under one cache line");
+        let words = (self.footprint_bytes / 8).next_power_of_two();
+        let r = IntReg::n;
+        let f = FpReg::n;
+        let p = PredReg::n;
+        let (ptr, cnt, state, t1, off, slot, val, acc, cursor) =
+            (r(1), r(2), r(3), r(4), r(5), r(6), r(7), r(8), r(9));
+
+        let mut memory = MemoryImage::new();
+        let chase_start = match self.access {
+            AccessPattern::PointerChase => {
+                let stride = 64.max(self.footprint_bytes / 4096).next_power_of_two();
+                let count = (self.footprint_bytes / stride).max(2);
+                shuffled_chain(&mut memory, DATA_BASE, count, stride, self.seed)
+            }
+            _ => {
+                fill_random_words(&mut memory, DATA_BASE, words, self.seed);
+                DATA_BASE
+            }
+        };
+
+        let mut b = ProgramBuilder::new();
+        b.movi(ptr, chase_start as i64);
+        b.movi(cnt, 0);
+        b.movi(state, 0x5EED_0000_0001 + self.seed as i64);
+        b.movi(acc, 0);
+        b.stop();
+        if self.fp_chain > 0 {
+            b.fmovi(f(1), 1.0);
+            b.fmovi(f(2), 0.999_9);
+            b.stop();
+        }
+        let top = b.here();
+
+        // Address generation + the load.
+        let fmask = ((words as i64) - 1) << 3;
+        match self.access {
+            AccessPattern::Stream { stride } => {
+                // Advance a byte cursor and wrap it into the footprint,
+                // so residency (not just stride) decides the miss rate.
+                b.addi(cursor, cursor, stride as i64);
+                b.stop();
+                b.andi(off, cursor, fmask);
+                b.stop();
+                b.add(slot, ptr, off);
+                b.stop();
+                b.nop();
+                b.stop();
+                b.ld8(val, slot, 0);
+                b.stop();
+            }
+            AccessPattern::RandomIndex => {
+                // Full xorshift step: the shr leg is what moves the low
+                // (index) bits.
+                b.shli(t1, state, 13);
+                b.stop();
+                b.xor(state, state, t1);
+                b.stop();
+                b.shri(t1, state, 7);
+                b.stop();
+                b.xor(state, state, t1);
+                b.stop();
+                b.andi(off, state, fmask);
+                b.stop();
+                b.add(slot, ptr, off);
+                b.stop();
+                b.nop();
+                b.stop();
+                b.ld8(val, slot, 0);
+                b.stop();
+            }
+            AccessPattern::PointerChase => {
+                b.ld8(val, ptr, 8);
+                b.stop();
+                b.ld8(ptr, ptr, 0);
+                b.stop();
+            }
+        }
+        // Counter keeps load-use distance ≥ 2 groups.
+        b.addi(cnt, cnt, 1);
+        b.stop();
+
+        // Dependent integer chain on the loaded value.
+        let mut producer = val;
+        for i in 0..self.alu_chain {
+            let d = r(10 + i as u8 % 8);
+            b.shri(d, producer, 1);
+            b.stop();
+            producer = d;
+        }
+        b.add(acc, acc, producer);
+        b.stop();
+
+        // Serial FP chain (anticipable latencies).
+        for _ in 0..self.fp_chain {
+            b.fmul(f(1), f(1), f(2));
+            b.stop();
+        }
+
+        // Optional read-modify-write.
+        if self.store_every {
+            let target = match self.access {
+                AccessPattern::RandomIndex => slot,
+                _ => ptr,
+            };
+            b.st8(acc, target, 16);
+            b.stop();
+        }
+
+        // Optional data-dependent branch.
+        if self.branch == BranchBehavior::DataDependent {
+            b.andi(t1, val, 1);
+            b.stop();
+            b.cmpi(CmpKind::Eq, p(3), p(4), t1, 1);
+            b.stop();
+            let skip = b.new_label();
+            b.br_cond(p(3), skip);
+            b.stop();
+            b.addi(acc, acc, 3);
+            b.stop();
+            b.bind(skip);
+        }
+
+        b.cmpi(CmpKind::Lt, p(1), p(2), cnt, self.iterations as i64);
+        b.stop();
+        b.br_cond(p(1), top);
+        b.stop();
+        b.halt();
+
+        let program = b.build().expect("synthetic kernel is well-formed");
+        let per_iter = 12
+            + self.alu_chain as u64
+            + self.fp_chain as u64
+            + u64::from(self.store_every) * 2
+            + match self.branch {
+                BranchBehavior::None => 0,
+                BranchBehavior::DataDependent => 5,
+            };
+        Workload {
+            name: "synthetic",
+            spec_ref: "synthetic",
+            description: "parameterized synthetic kernel",
+            program,
+            memory,
+            budget: per_iter.max(10) * 2 * self.iterations + 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_isa::{check_group_hazards, ArchState};
+
+    fn check(spec: SynthSpec) {
+        let w = spec.build();
+        check_group_hazards(&w.program).unwrap_or_else(|e| panic!("{spec:?}: {e}"));
+        let mut interp = ArchState::new(&w.program, w.memory.clone());
+        interp.run(w.budget);
+        assert!(interp.is_halted(), "{spec:?} must halt within budget");
+    }
+
+    #[test]
+    fn all_access_patterns_build_and_halt() {
+        for access in [
+            AccessPattern::Stream { stride: 64 },
+            AccessPattern::RandomIndex,
+            AccessPattern::PointerChase,
+        ] {
+            check(SynthSpec { access, iterations: 64, ..SynthSpec::default() });
+        }
+    }
+
+    #[test]
+    fn feature_combinations_build_and_halt() {
+        for store in [false, true] {
+            for branch in [BranchBehavior::None, BranchBehavior::DataDependent] {
+                for fp in [0usize, 3] {
+                    check(SynthSpec {
+                        iterations: 40,
+                        store_every: store,
+                        branch,
+                        fp_chain: fp,
+                        alu_chain: 4,
+                        ..SynthSpec::default()
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "iterations must be nonzero")]
+    fn zero_iterations_rejected() {
+        let _ = SynthSpec { iterations: 0, ..SynthSpec::default() }.build();
+    }
+
+    #[test]
+    fn footprint_rounds_to_power_of_two_words() {
+        let w = SynthSpec { footprint_bytes: 100_000, ..SynthSpec::default() }.build();
+        assert!(w.memory.resident_pages() > 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Authoring a custom workload against the public API.
+//!
+//! Builds a saxpy-like kernel with the `ProgramBuilder`, verifies it on
+//! the golden interpreter, lints its EPIC schedule, and measures it on
+//! all machine models — the full downstream-user workflow.
+//!
+//! ```text
+//! cargo run --release --example custom_kernel
+//! ```
+
+use fleaflicker::core::{Baseline, MachineConfig, TwoPass};
+use fleaflicker::isa::reg::{FpReg, IntReg, PredReg};
+use fleaflicker::isa::{check_group_hazards, ArchState, CmpKind, MemoryImage, ProgramBuilder};
+
+const X_BASE: u64 = 0x40_0000;
+const Y_BASE: u64 = 0x80_0000;
+const N: u64 = 4096;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // y[i] = a * x[i] + y[i]
+    let (px, py, cnt) = (IntReg::n(1), IntReg::n(2), IntReg::n(3));
+    let (a, x, y, ax, out) = (FpReg::n(1), FpReg::n(2), FpReg::n(3), FpReg::n(4), FpReg::n(5));
+    let (pt, pf) = (PredReg::n(1), PredReg::n(2));
+
+    let mut b = ProgramBuilder::new();
+    b.movi(px, X_BASE as i64);
+    b.movi(py, Y_BASE as i64);
+    b.movi(cnt, 0);
+    b.stop();
+    b.fmovi(a, 2.5);
+    b.stop();
+    let top = b.here();
+    b.ldf(x, px, 0);
+    b.ldf(y, py, 0);
+    b.stop();
+    b.addi(px, px, 8);
+    b.stop();
+    b.addi(cnt, cnt, 1);
+    b.stop();
+    b.fmul(ax, a, x);
+    b.stop();
+    b.nop();
+    b.stop();
+    b.nop();
+    b.stop();
+    b.nop();
+    b.stop();
+    b.fadd(out, ax, y);
+    b.stop();
+    b.nop();
+    b.stop();
+    b.nop();
+    b.stop();
+    b.nop();
+    b.stop();
+    b.stf(out, py, 0);
+    b.stop();
+    b.addi(py, py, 8);
+    b.stop();
+    b.cmpi(CmpKind::Lt, pt, pf, cnt, N as i64);
+    b.stop();
+    b.br_cond(pt, top);
+    b.stop();
+    b.halt();
+    let program = b.build()?;
+
+    // Lint the schedule like the kernel suite does.
+    check_group_hazards(&program)?;
+
+    let mut memory = MemoryImage::new();
+    for i in 0..N {
+        memory.write_f64(X_BASE + i * 8, i as f64 * 0.25);
+        memory.write_f64(Y_BASE + i * 8, 100.0 - i as f64);
+    }
+
+    // Golden-model check before measuring anything.
+    let mut interp = ArchState::new(&program, memory.clone());
+    interp.run(10_000_000);
+    assert!(interp.is_halted());
+    let expected = interp.mem().read_f64(Y_BASE + 8); // y[1] = 2.5*0.25 + 99
+    assert!((expected - 99.625).abs() < 1e-12);
+    println!("golden interpreter: {} instructions, y[1] = {expected}", interp.instr_count());
+
+    let cfg = MachineConfig::paper_table1();
+    let base = Baseline::new(&program, memory.clone(), cfg.clone()).run(10_000_000);
+    let two_pass = TwoPass::new(&program, memory, cfg).run(10_000_000);
+    assert_eq!(base.retired, interp.instr_count());
+    assert_eq!(two_pass.retired, interp.instr_count());
+
+    println!(
+        "baseline: {} cycles (ipc {:.2}); two-pass: {} cycles (ipc {:.2}); speedup {:.2}x",
+        base.cycles,
+        base.ipc(),
+        two_pass.cycles,
+        two_pass.ipc(),
+        two_pass.speedup_over(&base)
+    );
+    Ok(())
+}

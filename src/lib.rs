@@ -1,0 +1,44 @@
+//! # fleaflicker — two-pass pipelining, reproduced in Rust
+//!
+//! A from-scratch reproduction of Barnes, Nystrom, Sias, Patel, Navarro
+//! and Hwu, *"Beating in-order stalls with 'flea-flicker' two-pass
+//! pipelining"* (MICRO 2003): a cycle-level simulator of an EPIC in-order
+//! processor extended with the paper's two coupled back-end pipes — an
+//! **advance pipe** that never stalls on unanticipated latency (deferring
+//! blocked instructions) and a **backup pipe** that re-executes the
+//! deferred work in order while merging pre-computed results.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`isa`] (`ff-isa`) — the EPIC-style ISA, program builder, and golden
+//!   interpreter
+//! * [`mem`] (`ff-mem`) — caches, MSHRs, store buffer, ALAT
+//! * [`predict`] (`ff-predict`) — branch predictors (gshare et al.)
+//! * [`core`] (`ff-core`) — the baseline, two-pass, and runahead pipeline
+//!   models with the paper's cycle accounting
+//! * [`workloads`] (`ff-workloads`) — ten synthetic SPEC-like kernels and
+//!   a random-program generator
+//!
+//! # Quick start
+//!
+//! ```
+//! use fleaflicker::core::{Baseline, MachineConfig, TwoPass};
+//! use fleaflicker::workloads::{benchmark_by_name, Scale};
+//!
+//! let w = benchmark_by_name("181.mcf", Scale::Tiny).expect("known benchmark");
+//! let cfg = MachineConfig::paper_table1();
+//!
+//! let base = Baseline::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget);
+//! let two_pass = TwoPass::new(&w.program, w.memory.clone(), cfg).run(w.budget);
+//!
+//! assert_eq!(base.retired, two_pass.retired);
+//! println!("speedup: {:.2}x", two_pass.speedup_over(&base));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use ff_core as core;
+pub use ff_isa as isa;
+pub use ff_mem as mem;
+pub use ff_predict as predict;
+pub use ff_workloads as workloads;

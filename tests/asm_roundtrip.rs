@@ -1,0 +1,49 @@
+//! Property test: the assembler parses the `Display` output of any
+//! generated program back to an identical program — disassembly and
+//! assembly are exact inverses.
+
+use fleaflicker::isa::{parse_program, Program};
+use fleaflicker::workloads::random::{random_program, GeneratorConfig};
+use proptest::prelude::*;
+
+fn strip_pc_prefixes(printed: &str) -> String {
+    printed
+        .lines()
+        .map(|l| l.splitn(2, ':').nth(1).unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn check_roundtrip(program: &Program) {
+    let text = strip_pc_prefixes(&program.to_string());
+    let reparsed = parse_program(&text)
+        .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+    assert_eq!(program, &reparsed, "round-trip mismatch");
+}
+
+#[test]
+fn fixed_seeds_round_trip() {
+    let cfg = GeneratorConfig::default();
+    for seed in 0..64 {
+        let (program, _) = random_program(seed, &cfg);
+        check_roundtrip(&program);
+    }
+}
+
+#[test]
+fn paper_kernels_round_trip() {
+    use fleaflicker::workloads::{paper_benchmarks, Scale};
+    for w in paper_benchmarks(Scale::Tiny) {
+        check_roundtrip(&w.program);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_programs_round_trip(seed in 64u64..1_000_000) {
+        let (program, _) = random_program(seed, &GeneratorConfig::default());
+        check_roundtrip(&program);
+    }
+}

@@ -1,0 +1,51 @@
+//! Integration tests over the ten Table 2 kernels: every pipeline model
+//! must agree with the golden interpreter on every benchmark, and the
+//! cycle accounting must be exhaustive.
+
+use fleaflicker::core::{Baseline, MachineConfig, TwoPass};
+use fleaflicker::isa::{check_group_hazards, ArchState};
+use fleaflicker::workloads::{paper_benchmarks, Scale, Workload};
+
+fn check_workload(w: &Workload) {
+    check_group_hazards(&w.program).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+
+    let mut interp = ArchState::new(&w.program, w.memory.clone());
+    interp.run(w.budget);
+    assert!(interp.is_halted(), "{} must halt within its budget", w.name);
+
+    let cfg = MachineConfig::paper_table1();
+    let (base, base_regs, base_mem) =
+        Baseline::new(&w.program, w.memory.clone(), cfg.clone()).run_with_state(w.budget);
+    assert_eq!(base.retired, interp.instr_count(), "{}: baseline retired", w.name);
+    assert_eq!(&base_regs, interp.reg_bits(), "{}: baseline registers", w.name);
+    assert_eq!(&base_mem, interp.mem(), "{}: baseline memory", w.name);
+    assert_eq!(base.breakdown.total(), base.cycles, "{}: baseline accounting", w.name);
+
+    for regroup in [false, true] {
+        let mut tp_cfg = cfg.clone();
+        tp_cfg.two_pass.regroup = regroup;
+        let (tp, tp_regs, tp_mem) =
+            TwoPass::new(&w.program, w.memory.clone(), tp_cfg).run_with_state(w.budget);
+        let label = if regroup { "2Pre" } else { "2P" };
+        assert_eq!(tp.retired, interp.instr_count(), "{}: {label} retired", w.name);
+        assert_eq!(&tp_regs, interp.reg_bits(), "{}: {label} registers", w.name);
+        assert_eq!(&tp_mem, interp.mem(), "{}: {label} memory", w.name);
+        assert_eq!(tp.breakdown.total(), tp.cycles, "{}: {label} accounting", w.name);
+    }
+}
+
+#[test]
+fn all_ten_kernels_match_the_interpreter_on_every_model() {
+    for w in paper_benchmarks(Scale::Tiny) {
+        check_workload(&w);
+    }
+}
+
+#[test]
+fn kernels_also_match_at_test_scale_for_mcf_and_compress() {
+    // Two representative kernels at the harness scale, as a deeper soak.
+    for name in ["181.mcf", "129.compress"] {
+        let w = fleaflicker::workloads::benchmark_by_name(name, Scale::Test).unwrap();
+        check_workload(&w);
+    }
+}

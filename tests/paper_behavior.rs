@@ -1,0 +1,234 @@
+//! Qualitative reproduction checks: the *shape* of the paper's results
+//! must hold on every run — who wins, in which direction, and the
+//! mechanism-level statistics the paper calls out.
+//!
+//! These run the full ten-benchmark suite at `Scale::Tiny` (so they are
+//! CI-speed); the quantitative tables come from the `ff-bench` binaries
+//! at `Scale::Test`.
+
+use fleaflicker::core::{
+    Baseline, FeedbackLatency, MachineConfig, Pipe, Runahead, SimReport, TwoPass,
+};
+use fleaflicker::workloads::{benchmark_by_name, paper_benchmarks, Scale};
+
+const SCALE: Scale = Scale::Tiny;
+
+fn run_pair(name: &str) -> (SimReport, SimReport) {
+    let w = benchmark_by_name(name, SCALE).expect("built-in benchmark");
+    let cfg = MachineConfig::paper_table1();
+    let base = Baseline::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget);
+    let tp = TwoPass::new(&w.program, w.memory.clone(), cfg).run(w.budget);
+    (base, tp)
+}
+
+#[test]
+fn two_pass_reduces_memory_stalls_on_miss_heavy_benchmarks() {
+    // §4: "For each benchmark, a significant number of memory stall
+    // cycles is eliminated by two-pass pipelining."
+    for name in ["181.mcf", "183.equake", "129.compress", "255.vortex"] {
+        let (base, tp) = run_pair(name);
+        assert!(
+            tp.breakdown.load_stalls() < base.breakdown.load_stalls(),
+            "{name}: load stalls must shrink (base {} vs 2P {})",
+            base.breakdown.load_stalls(),
+            tp.breakdown.load_stalls()
+        );
+    }
+}
+
+#[test]
+fn mcf_shows_substantial_overall_speedup() {
+    // §4: 181.mcf shows the marquee overall cycle reduction (23% in the
+    // paper; the synthetic kernel lands in the same regime).
+    let (base, tp) = run_pair("181.mcf");
+    let reduction = 1.0 - tp.cycles as f64 / base.cycles as f64;
+    assert!(
+        reduction > 0.15,
+        "mcf-like should improve substantially, got {:.1}%",
+        100.0 * reduction
+    );
+}
+
+#[test]
+fn vpr_is_the_loss_case() {
+    // §4: "175.vpr is the only benchmark to show a net loss of
+    // performance, due to store conflict flushes and dependence stalls"
+    // from wholesale FP deferral.
+    let (base, tp) = run_pair("175.vpr");
+    assert!(
+        tp.cycles > base.cycles,
+        "vpr-like must lose under plain 2P: base={} 2P={}",
+        base.cycles,
+        tp.cycles
+    );
+    let stats = tp.two_pass.expect("two-pass stats");
+    let fp_rate = stats.fp_deferred as f64 / stats.fp_retired.max(1) as f64;
+    assert!(
+        fp_rate > 0.5,
+        "vpr-like defers its FP chains (paper: 98%), got {:.0}%",
+        100.0 * fp_rate
+    );
+}
+
+#[test]
+fn gap_gets_only_a_small_improvement() {
+    // §4: gap "executes most of its substantial number of main memory
+    // accesses in the B-pipe, and thus displays only a small performance
+    // improvement."
+    let (base, tp) = run_pair("254.gap");
+    let norm = tp.cycles as f64 / base.cycles as f64;
+    assert!(norm > 0.85, "gap-like win must be small: normalized {norm:.3}");
+    assert!(norm <= 1.02, "gap-like must not lose noticeably: normalized {norm:.3}");
+    assert!(
+        tp.mem.loads_in(Pipe::B) > tp.mem.loads_in(Pipe::A),
+        "gap-like loads execute mostly in the B-pipe"
+    );
+}
+
+#[test]
+fn a_pipe_initiates_the_majority_of_access_latency_overall() {
+    // Figure 7: "For each benchmark, the majority of the access latency
+    // is initiated in the A-pipe" — aggregate form, since our chase-like
+    // kernels (gap, li) are B-dominated by construction.
+    let cfg = MachineConfig::paper_table1();
+    let (mut a, mut b) = (0u64, 0u64);
+    for w in paper_benchmarks(SCALE) {
+        let tp = TwoPass::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget);
+        a += tp.mem.access_cycles_in(Pipe::A);
+        b += tp.mem.access_cycles_in(Pipe::B);
+    }
+    assert!(a > b, "A-pipe should initiate most access cycles: A={a} B={b}");
+}
+
+#[test]
+fn regrouping_helps_on_average() {
+    // §4: "2Pre achieving an average speedup of 1.08 over 2P."
+    let cfg = MachineConfig::paper_table1();
+    let mut re_cfg = cfg.clone();
+    re_cfg.two_pass.regroup = true;
+    let (mut tp_sum, mut re_sum) = (0.0, 0.0);
+    for w in paper_benchmarks(SCALE) {
+        let tp = TwoPass::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget);
+        let re = TwoPass::new(&w.program, w.memory.clone(), re_cfg.clone()).run(w.budget);
+        tp_sum += tp.cycles as f64;
+        re_sum += re.cycles as f64;
+        assert!(
+            re.cycles <= tp.cycles + tp.cycles / 20,
+            "{}: regrouping should never cost much ({} vs {})",
+            w.name,
+            re.cycles,
+            tp.cycles
+        );
+    }
+    let speedup = tp_sum / re_sum;
+    assert!(speedup > 1.02, "2Pre should beat 2P on average, got {speedup:.3}x");
+}
+
+#[test]
+fn mispredictions_resolve_in_both_pipes() {
+    // §4: "an average of 32% of branch mispredictions are discovered and
+    // repaired in the A-pipe ... 68% remain to be processed in the
+    // B-pipe." Shape check: both resolution paths are exercised, and the
+    // miss-dependent benchmark (twolf) leans on B-DET.
+    let cfg = MachineConfig::paper_table1();
+    let (mut in_a, mut in_b) = (0u64, 0u64);
+    for w in paper_benchmarks(SCALE) {
+        let tp = TwoPass::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget);
+        in_a += tp.branches.repaired_in_a;
+        in_b += tp.branches.repaired_in_b;
+    }
+    assert!(in_a > 0, "some mispredictions repair at A-DET");
+    assert!(in_b > 0, "some mispredictions repair at B-DET");
+
+    let w = benchmark_by_name("300.twolf", SCALE).unwrap();
+    let tp = TwoPass::new(&w.program, w.memory.clone(), cfg).run(w.budget);
+    // Our kernels skew further toward A-DET than the paper's 32/68 split
+    // (see EXPERIMENTS.md); the shape requirement is that the
+    // miss-dependent benchmark exercises B-DET substantially.
+    assert!(
+        tp.branches.repaired_in_b * 5 > tp.branches.mispredicted,
+        "twolf-like should resolve a substantial share at B-DET: {:?}",
+        tp.branches
+    );
+}
+
+#[test]
+fn risky_loads_are_overwhelmingly_conflict_free() {
+    // §4: "97% of all load accesses initiated in the A-pipe while a
+    // deferred store is in the queue are free of store conflicts."
+    let cfg = MachineConfig::paper_table1();
+    let (mut risky, mut conflicting) = (0u64, 0u64);
+    for w in paper_benchmarks(SCALE) {
+        let tp = TwoPass::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget);
+        let s = tp.two_pass.expect("two-pass stats");
+        risky += s.loads_past_deferred_store;
+        conflicting += s.loads_past_deferred_store_conflicting;
+    }
+    assert!(risky > 0, "the suite must exercise risky loads");
+    let clean = 1.0 - conflicting as f64 / risky as f64;
+    assert!(clean > 0.9, "risky loads should be ~97% clean, got {:.1}%", 100.0 * clean);
+}
+
+#[test]
+fn feedback_path_tolerates_moderate_latency() {
+    // Figure 8: runtimes at 1-8 cycles of feedback latency are nearly
+    // identical; disabling feedback inflates deferral.
+    let w = benchmark_by_name("181.mcf", SCALE).unwrap();
+    let mut cycles = Vec::new();
+    let mut deferred = Vec::new();
+    for lat in [
+        FeedbackLatency::Cycles(1),
+        FeedbackLatency::Cycles(4),
+        FeedbackLatency::Cycles(8),
+        FeedbackLatency::Infinite,
+    ] {
+        let mut cfg = MachineConfig::paper_table1();
+        cfg.two_pass.feedback_latency = lat;
+        let r = TwoPass::new(&w.program, w.memory.clone(), cfg).run(w.budget);
+        cycles.push(r.cycles);
+        deferred.push(r.two_pass.expect("stats").deferred);
+    }
+    let spread = (cycles[2] as f64 - cycles[0] as f64).abs() / cycles[0] as f64;
+    assert!(spread < 0.05, "1..8-cycle feedback should be within 5%: {cycles:?}");
+    assert!(
+        deferred[3] > deferred[0] + deferred[0] / 20,
+        "disabling feedback must inflate deferral: {deferred:?}"
+    );
+}
+
+#[test]
+fn runahead_discards_work_two_pass_keeps() {
+    // §2/§5: runahead prefetches but re-executes everything; two-pass
+    // retains pre-executed results. On short-miss workloads (compress)
+    // the retention advantage shows up directly — in steady state, so
+    // this one check runs at Test scale.
+    let w = benchmark_by_name("129.compress", Scale::Test).unwrap();
+    let cfg = MachineConfig::paper_table1();
+    let base = Baseline::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget);
+    let ra = Runahead::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget);
+    let tp = TwoPass::new(&w.program, w.memory.clone(), cfg).run(w.budget);
+    assert!(
+        tp.cycles < base.cycles,
+        "two-pass wins on compress: base={} 2P={}",
+        base.cycles,
+        tp.cycles
+    );
+    assert!(
+        tp.cycles < ra.cycles,
+        "two-pass beats runahead on short ubiquitous misses: ra={} 2P={}",
+        ra.cycles,
+        tp.cycles
+    );
+}
+
+#[test]
+fn all_models_retire_identical_instruction_counts() {
+    let cfg = MachineConfig::paper_table1();
+    for w in paper_benchmarks(SCALE) {
+        let base = Baseline::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget);
+        let tp = TwoPass::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget);
+        let ra = Runahead::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget);
+        assert_eq!(base.retired, tp.retired, "{}", w.name);
+        assert_eq!(base.retired, ra.retired, "{}", w.name);
+    }
+}
