@@ -14,9 +14,7 @@ fn bench_figures(c: &mut Criterion) {
     group.bench_function("fig7", |b| b.iter(|| experiments::fig7(Scale::Tiny)));
     group.bench_function("fig8", |b| b.iter(|| experiments::fig8(Scale::Tiny)));
     group.bench_function("branch_stats", |b| b.iter(|| experiments::branch_stats(Scale::Tiny)));
-    group.bench_function("conflict_stats", |b| {
-        b.iter(|| experiments::conflict_stats(Scale::Tiny))
-    });
+    group.bench_function("conflict_stats", |b| b.iter(|| experiments::conflict_stats(Scale::Tiny)));
     group.bench_function("runahead_compare", |b| {
         b.iter(|| experiments::runahead_compare(Scale::Tiny))
     });

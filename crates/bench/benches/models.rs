@@ -14,9 +14,7 @@ fn bench_models(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("baseline", |b| {
-        b.iter(|| {
-            Baseline::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget)
-        })
+        b.iter(|| Baseline::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget))
     });
     group.bench_function("two_pass", |b| {
         b.iter(|| TwoPass::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget))

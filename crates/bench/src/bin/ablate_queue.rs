@@ -5,14 +5,17 @@ use ff_bench::{experiments, fmt, parse_args};
 
 fn main() {
     let (scale, json) = parse_args();
-    let rows = experiments::queue_sweep(scale, &["mcf-like", "compress-like", "equake-like", "li-like"]);
+    let rows =
+        experiments::queue_sweep(scale, &["mcf-like", "compress-like", "equake-like", "li-like"]);
     if json {
         println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
         return;
     }
     println!("Coupling-queue size sweep ({scale:?} scale)\n");
     println!("(compress/equake/li vary smoothly around 64, as the paper reports; mcf-like");
-    println!(" shows a deterministic phase effect of queue-full backpressure — see EXPERIMENTS.md)\n");
+    println!(
+        " shows a deterministic phase effect of queue-full backpressure — see EXPERIMENTS.md)\n"
+    );
     fmt::header(&[
         ("benchmark", 14),
         ("size", 5),

@@ -1,0 +1,240 @@
+//! `ff-trace` — record and analyze JSONL pipeline traces.
+//!
+//! ```text
+//! ff_trace record <out.jsonl> [--model base|2p|2pre|runahead] [--bench NAME]
+//!                             [--scale tiny|test|ref] [--max N]
+//! ff_trace summary  <trace.jsonl>
+//! ff_trace queue    <trace.jsonl>
+//! ff_trace stalls   <trace.jsonl>
+//! ff_trace slip     <trace.jsonl>
+//! ff_trace snapshot <trace.jsonl> [--start C] [--end C]
+//! ff_trace chrome   <trace.jsonl> <out.json>
+//! ```
+//!
+//! `record` runs a built-in benchmark on the chosen model with a
+//! streaming [`ff_core::JsonlSink`]; the analysis subcommands work on
+//! the resulting file (or any JSONL trace). `chrome` emits Chrome
+//! trace-event JSON loadable in Perfetto (<https://ui.perfetto.dev>)
+//! or `chrome://tracing`.
+
+use ff_bench::traceview;
+use ff_core::{Baseline, CycleClass, JsonlSink, MachineConfig, Runahead, TraceEvent, TwoPass};
+use ff_workloads::Scale;
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  ff_trace record <out.jsonl> [--model base|2p|2pre|runahead] [--bench NAME]
+                              [--scale tiny|test|ref] [--max N]
+  ff_trace summary  <trace.jsonl>
+  ff_trace queue    <trace.jsonl>
+  ff_trace stalls   <trace.jsonl>
+  ff_trace slip     <trace.jsonl>
+  ff_trace snapshot <trace.jsonl> [--start C] [--end C]
+  ff_trace chrome   <trace.jsonl> <out.json>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("record") => record(&args[1..]),
+        Some("summary") => analyze(&args[1..], |ev| print!("{}", render_summary(&ev))),
+        Some("queue") => analyze(&args[1..], |ev| print!("{}", render_queue(&ev))),
+        Some("stalls") => analyze(&args[1..], |ev| print!("{}", render_stalls(&ev))),
+        Some("slip") => analyze(&args[1..], |ev| print!("{}", render_slip(&ev))),
+        Some("snapshot") => snapshot_cmd(&args[1..]),
+        Some("chrome") => chrome_cmd(&args[1..]),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses a `--flag value` pair out of `args`, returning the rest.
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} requires a value\n{USAGE}"));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(v))
+    } else {
+        Ok(None)
+    }
+}
+
+fn record(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let model = take_opt(&mut args, "--model")?.unwrap_or_else(|| "2p".to_string());
+    let bench = take_opt(&mut args, "--bench")?.unwrap_or_else(|| "mcf-like".to_string());
+    let scale = match take_opt(&mut args, "--scale")?.as_deref() {
+        None | Some("tiny") => Scale::Tiny,
+        Some("test") => Scale::Test,
+        Some("ref" | "reference") => Scale::Reference,
+        Some(other) => return Err(format!("unknown scale `{other}`\n{USAGE}")),
+    };
+    let max = take_opt(&mut args, "--max")?
+        .map(|v| v.parse::<u64>().map_err(|e| format!("bad --max: {e}")))
+        .transpose()?;
+    let [out] = args.as_slice() else {
+        return Err(format!("record takes one output path\n{USAGE}"));
+    };
+    let w = ff_workloads::benchmark_by_name(&bench, scale)
+        .ok_or_else(|| format!("unknown benchmark `{bench}` (see `table2` for names)"))?;
+    let budget = max.unwrap_or(w.budget);
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let mut sink = JsonlSink::new(file);
+    let cfg = MachineConfig::paper_table1();
+    let report = match model.as_str() {
+        "base" => Baseline::new(&w.program, w.memory.clone(), cfg).run_with_sink(budget, &mut sink),
+        "2p" => TwoPass::new(&w.program, w.memory.clone(), cfg).run_with_sink(budget, &mut sink),
+        "2pre" => {
+            let mut cfg = cfg;
+            cfg.two_pass.regroup = true;
+            TwoPass::new(&w.program, w.memory.clone(), cfg).run_with_sink(budget, &mut sink)
+        }
+        "runahead" => {
+            Runahead::new(&w.program, w.memory.clone(), cfg).run_with_sink(budget, &mut sink)
+        }
+        other => return Err(format!("unknown model `{other}`\n{USAGE}")),
+    };
+    if sink.errored() {
+        return Err(format!("write error while streaming to {out}"));
+    }
+    let events = sink.written();
+    sink.into_inner().map_err(|e| format!("flush {out}: {e}"))?;
+    println!(
+        "{bench} on {model}: {} cycles, {} retired -> {events} events in {out}",
+        report.cycles, report.retired
+    );
+    Ok(())
+}
+
+fn load(path: &str) -> Result<Vec<TraceEvent>, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    traceview::load_events(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn analyze(args: &[String], render: impl FnOnce(Vec<TraceEvent>)) -> Result<(), String> {
+    let [path] = args else {
+        return Err(format!("expected one trace path\n{USAGE}"));
+    };
+    render(load(path)?);
+    Ok(())
+}
+
+fn render_summary(events: &[TraceEvent]) -> String {
+    let s = traceview::summarize(events);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "events           {}\ncycles           {}\nA dispatches     {} ({} deferred)\n\
+         B retires        {} ({} B-executed)\nissue groups     A={} B={}\n\
+         flushes          bdet={} store-conflict={}\nA redirects      {}\n\
+         misses           L2={} L3={} Mem={}\nrunahead         episodes={} discarded={}\n",
+        s.events,
+        s.cycles,
+        s.dispatches,
+        s.deferred,
+        s.retires,
+        s.b_executed,
+        s.groups[0],
+        s.groups[1],
+        s.flushes[0],
+        s.flushes[1],
+        s.redirects,
+        s.misses[1],
+        s.misses[2],
+        s.misses[3],
+        s.ra_enters,
+        s.ra_discarded,
+    ));
+    out.push_str("cycle classes\n");
+    for class in CycleClass::ALL {
+        let n = s.class_cycles[class.index()];
+        let frac = if s.cycles == 0 { 0.0 } else { n as f64 / s.cycles as f64 };
+        out.push_str(&format!("  {:<12} {n:>10}  {:>5.1}%\n", class.label(), frac * 100.0));
+    }
+    out
+}
+
+fn render_queue(events: &[TraceEvent]) -> String {
+    let o = traceview::occupancy(events);
+    let mut out = String::from("coupling-queue depth (cycles at each depth)\n");
+    out.push_str(&traceview::render_histogram(&o.depth_hist));
+    out.push_str("mshr occupancy (cycles at each count)\n");
+    out.push_str(&traceview::render_histogram(&o.mshr_hist));
+    out.push_str("exact depths: ");
+    let exact: Vec<String> = o.depth.iter().map(|(d, n)| format!("{d}:{n}")).collect();
+    out.push_str(&exact.join(" "));
+    out.push('\n');
+    out
+}
+
+fn render_stalls(events: &[TraceEvent]) -> String {
+    let intervals = traceview::class_intervals(events);
+    let totals = traceview::class_totals(&intervals);
+    let hists = traceview::interval_histograms(&intervals);
+    let mut out = String::from("stall intervals per cycle class (interval-length distribution)\n");
+    for class in CycleClass::ALL {
+        let i = class.index();
+        if hists[i].count() == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "\n{} — {} cycles in {} intervals\n",
+            class.label(),
+            totals[i],
+            hists[i].count()
+        ));
+        out.push_str(&traceview::render_histogram(&hists[i]));
+    }
+    out
+}
+
+fn render_slip(events: &[TraceEvent]) -> String {
+    let s = traceview::slip_stats(events);
+    let mut out = String::from("A-to-B slip (cycles from dispatch to retire)\n");
+    out.push_str(&traceview::render_histogram(&s.slip));
+    out.push_str("deferral run lengths (consecutive deferred dispatches)\n");
+    out.push_str(&traceview::render_histogram(&s.deferral_runs));
+    out
+}
+
+fn snapshot_cmd(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let start = take_opt(&mut args, "--start")?
+        .map(|v| v.parse::<u64>().map_err(|e| format!("bad --start: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    let end = take_opt(&mut args, "--end")?
+        .map(|v| v.parse::<u64>().map_err(|e| format!("bad --end: {e}")))
+        .transpose()?;
+    let [path] = args.as_slice() else {
+        return Err(format!("snapshot takes one trace path\n{USAGE}"));
+    };
+    let events = load(path)?;
+    let end = end.unwrap_or_else(|| start + 64);
+    print!("{}", traceview::snapshot(&events, start, end));
+    Ok(())
+}
+
+fn chrome_cmd(args: &[String]) -> Result<(), String> {
+    let [path, out] = args else {
+        return Err(format!("chrome takes a trace path and an output path\n{USAGE}"));
+    };
+    let events = load(path)?;
+    let json = traceview::chrome_trace(&events);
+    std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "{} events -> {out} ({} bytes); load it at https://ui.perfetto.dev",
+        events.len(),
+        json.len()
+    );
+    Ok(())
+}

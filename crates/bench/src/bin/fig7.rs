@@ -13,7 +13,16 @@ fn main() {
     println!("Figure 7 — initiated access cycles by pipe and level ({scale:?} scale)\n");
     println!(
         "{:>14} {:>5} | {:>9} {:>9} {:>9} {:>10} | {:>9} {:>9} {:>9} {:>10} | {:>6}",
-        "benchmark", "model", "A/L1", "A/L2", "A/L3", "A/Mem", "B/L1", "B/L2", "B/L3", "B/Mem",
+        "benchmark",
+        "model",
+        "A/L1",
+        "A/L2",
+        "A/L3",
+        "A/Mem",
+        "B/L1",
+        "B/L2",
+        "B/L3",
+        "B/Mem",
         "A-frac"
     );
     println!("{}", "-".repeat(132));
@@ -39,5 +48,7 @@ fn main() {
             println!();
         }
     }
-    println!("(paper: for most benchmarks the majority of access latency is initiated in the A-pipe)");
+    println!(
+        "(paper: for most benchmarks the majority of access latency is initiated in the A-pipe)"
+    );
 }

@@ -8,10 +8,7 @@ use ff_workloads::paper_benchmarks;
 fn main() {
     let (scale, _) = parse_args();
     println!("Table 2 — benchmarks and dynamic instruction counts ({scale:?} scale)\n");
-    println!(
-        "{:<14} {:<12} {:>13}  {}",
-        "Benchmark", "Stands for", "Instructions", "Synthetic input"
-    );
+    println!("{:<14} {:<12} {:>13}  Synthetic input", "Benchmark", "Stands for", "Instructions");
     println!("{}", "-".repeat(100));
     for w in paper_benchmarks(scale) {
         let mut interp = ArchState::new(&w.program, w.memory.clone());

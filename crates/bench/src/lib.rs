@@ -14,6 +14,7 @@
 //! | `cargo run -p ff-bench --bin ablate_queue` | §3.1 — coupling-queue size sensitivity |
 //! | `cargo run -p ff-bench --bin ablate_fp_stall` | §4 — stall-on-anticipable-FP policy (vpr fix) |
 //! | `cargo run -p ff-bench --bin runahead_compare` | §2 — idealized runahead comparison |
+//! | `cargo run -p ff-bench --bin ff_trace` | record + analyze JSONL pipeline traces (see [`traceview`]) |
 //!
 //! Every binary accepts an optional scale argument (`tiny`, `test`,
 //! `ref`; default `test`) and `--json` to emit machine-readable rows.
@@ -23,6 +24,7 @@
 
 pub mod experiments;
 pub mod fmt;
+pub mod traceview;
 
 use ff_workloads::Scale;
 

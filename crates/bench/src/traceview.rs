@@ -1,0 +1,651 @@
+//! Offline analysis of JSONL pipeline traces (the `ff-trace` tool).
+//!
+//! Everything here operates on a `Vec<TraceEvent>` loaded from the
+//! stream a [`ff_core::JsonlSink`] wrote, so analyses run without the
+//! simulator: queue-depth and MSHR occupancy distributions, per-class
+//! stall intervals reconstructed from [`TraceEvent::ClassTransition`],
+//! A-to-B slip and deferral run-length distributions, a Figure-4-style
+//! per-cycle ASCII snapshot, and a Chrome trace-event JSON export
+//! loadable in Perfetto (one track per pipe stage).
+
+use ff_core::{CycleClass, Histogram, Pipe, TraceEvent};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::io::BufRead;
+
+/// Reads a JSONL trace, one event per line. Blank lines are skipped.
+///
+/// # Errors
+/// Returns a message naming the 1-based line that failed to read or
+/// parse.
+pub fn load_events(reader: impl BufRead) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", i + 1))?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let e =
+            ff_core::sink::parse_jsonl_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        events.push(e);
+    }
+    Ok(events)
+}
+
+/// One past the last cycle any event touches (the run length when the
+/// trace covers a whole run, since models sample every cycle).
+#[must_use]
+pub fn end_cycle(events: &[TraceEvent]) -> u64 {
+    events.iter().map(TraceEvent::cycle).max().map_or(0, |c| c + 1)
+}
+
+// ---- summary -----------------------------------------------------------
+
+/// Per-kind event counts and headline figures for one trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Total events.
+    pub events: u64,
+    /// One past the last event cycle.
+    pub cycles: u64,
+    /// A-pipe dispatches.
+    pub dispatches: u64,
+    /// Dispatches the A-pipe deferred.
+    pub deferred: u64,
+    /// B-pipe retires (architectural commits).
+    pub retires: u64,
+    /// Retires the B-pipe had to execute itself.
+    pub b_executed: u64,
+    /// Flushes: `[B-DET mispredict, store conflict]`.
+    pub flushes: [u64; 2],
+    /// A-DET fetch redirects.
+    pub redirects: u64,
+    /// Issue groups per pipe (`[A, B]`).
+    pub groups: [u64; 2],
+    /// Cache misses initiated, by servicing level (`[L1, L2, L3, Mem]`;
+    /// the L1 slot stays 0 — an L1 hit is not a miss).
+    pub misses: [u64; 4],
+    /// Per-cycle occupancy samples.
+    pub samples: u64,
+    /// Runahead episodes entered.
+    pub ra_enters: u64,
+    /// Speculative instructions discarded across all episodes.
+    pub ra_discarded: u64,
+    /// Cycles charged to each [`CycleClass`] (display order).
+    pub class_cycles: [u64; 6],
+}
+
+/// Tallies a trace into a [`TraceSummary`].
+#[must_use]
+pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
+    let mut s = TraceSummary {
+        events: events.len() as u64,
+        cycles: end_cycle(events),
+        ..TraceSummary::default()
+    };
+    for e in events {
+        match *e {
+            TraceEvent::ADispatch { deferred, .. } => {
+                s.dispatches += 1;
+                s.deferred += u64::from(deferred);
+            }
+            TraceEvent::BRetire { was_deferred, .. } => {
+                s.retires += 1;
+                s.b_executed += u64::from(was_deferred);
+            }
+            TraceEvent::Flush { kind, .. } => s.flushes[kind as usize] += 1,
+            TraceEvent::ARedirect { .. } => s.redirects += 1,
+            TraceEvent::GroupDispatch { pipe, .. } => s.groups[pipe.index()] += 1,
+            TraceEvent::MissBegin { level, .. } => s.misses[level.index()] += 1,
+            TraceEvent::MissEnd { .. } | TraceEvent::ClassTransition { .. } => {}
+            TraceEvent::QueueSample { .. } => s.samples += 1,
+            TraceEvent::RunaheadEnter { .. } => s.ra_enters += 1,
+            TraceEvent::RunaheadExit { discarded, .. } => s.ra_discarded += discarded,
+        }
+    }
+    for iv in class_intervals(events) {
+        s.class_cycles[iv.class.index()] += iv.len;
+    }
+    s
+}
+
+// ---- per-class stall intervals -----------------------------------------
+
+/// A maximal run of consecutive cycles charged to one class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassInterval {
+    /// The class charged.
+    pub class: CycleClass,
+    /// First cycle of the run.
+    pub start: u64,
+    /// Run length in cycles (always at least 1).
+    pub len: u64,
+}
+
+/// Replays [`TraceEvent::ClassTransition`] events into the maximal
+/// per-class intervals they delimit. Transitions tile the run: each
+/// interval extends to the next transition, the last to [`end_cycle`].
+#[must_use]
+pub fn class_intervals(events: &[TraceEvent]) -> Vec<ClassInterval> {
+    let end = end_cycle(events);
+    let transitions: Vec<(u64, CycleClass)> = events
+        .iter()
+        .filter_map(|e| match *e {
+            TraceEvent::ClassTransition { cycle, to, .. } => Some((cycle, to)),
+            _ => None,
+        })
+        .collect();
+    let mut intervals = Vec::with_capacity(transitions.len());
+    for (i, &(start, class)) in transitions.iter().enumerate() {
+        let until = transitions.get(i + 1).map_or(end, |&(c, _)| c);
+        if until > start {
+            intervals.push(ClassInterval { class, start, len: until - start });
+        }
+    }
+    intervals
+}
+
+/// Total cycles per class (display order), from interval replay.
+#[must_use]
+pub fn class_totals(intervals: &[ClassInterval]) -> [u64; 6] {
+    let mut totals = [0u64; 6];
+    for iv in intervals {
+        totals[iv.class.index()] += iv.len;
+    }
+    totals
+}
+
+/// Interval-*length* distribution per class: how long each stall kind
+/// persists once entered (display order).
+#[must_use]
+pub fn interval_histograms(intervals: &[ClassInterval]) -> [Histogram; 6] {
+    let mut hists = [Histogram::default(); 6];
+    for iv in intervals {
+        hists[iv.class.index()].observe(iv.len);
+    }
+    hists
+}
+
+// ---- occupancy ---------------------------------------------------------
+
+/// Exact occupancy distributions from [`TraceEvent::QueueSample`].
+#[derive(Debug, Clone, Default)]
+pub struct OccupancyStats {
+    /// Coupling-queue depth → cycles observed at that depth.
+    pub depth: BTreeMap<u32, u64>,
+    /// Outstanding MSHR fills → cycles observed at that count.
+    pub mshr: BTreeMap<u32, u64>,
+    /// Power-of-two summary of the depth distribution.
+    pub depth_hist: Histogram,
+    /// Power-of-two summary of the MSHR distribution.
+    pub mshr_hist: Histogram,
+}
+
+/// Builds queue-depth and MSHR occupancy distributions.
+#[must_use]
+pub fn occupancy(events: &[TraceEvent]) -> OccupancyStats {
+    let mut o = OccupancyStats::default();
+    for e in events {
+        if let TraceEvent::QueueSample { depth, mshr, .. } = *e {
+            *o.depth.entry(depth).or_insert(0) += 1;
+            *o.mshr.entry(mshr).or_insert(0) += 1;
+            o.depth_hist.observe(u64::from(depth));
+            o.mshr_hist.observe(u64::from(mshr));
+        }
+    }
+    o
+}
+
+// ---- slip and deferral runs --------------------------------------------
+
+/// A-to-B slip and deferral run-length distributions.
+#[derive(Debug, Clone, Default)]
+pub struct SlipStats {
+    /// Cycles between an instruction's A-dispatch and its B-retire
+    /// (re-dispatched instructions count their final flight).
+    pub slip: Histogram,
+    /// Lengths of maximal runs of consecutively *deferred* dispatches —
+    /// how much work each miss shadow pushes to the B-pipe.
+    pub deferral_runs: Histogram,
+}
+
+/// Matches dispatches to retires by sequence number and measures
+/// deferral run lengths along the dispatch stream.
+#[must_use]
+pub fn slip_stats(events: &[TraceEvent]) -> SlipStats {
+    let mut s = SlipStats::default();
+    let mut dispatched: HashMap<u64, u64> = HashMap::new();
+    let mut run = 0u64;
+    for e in events {
+        match *e {
+            TraceEvent::ADispatch { cycle, seq, deferred, .. } => {
+                dispatched.insert(seq, cycle);
+                if deferred {
+                    run += 1;
+                } else if run > 0 {
+                    s.deferral_runs.observe(run);
+                    run = 0;
+                }
+            }
+            TraceEvent::BRetire { cycle, seq, .. } => {
+                if let Some(d) = dispatched.remove(&seq) {
+                    s.slip.observe(cycle.saturating_sub(d));
+                }
+            }
+            _ => {}
+        }
+    }
+    if run > 0 {
+        s.deferral_runs.observe(run);
+    }
+    s
+}
+
+// ---- Figure-4-style snapshot -------------------------------------------
+
+/// Renders a per-cycle ASCII view of `[start, end)`, in the spirit of
+/// the paper's Figure 4 execution snapshots: what the A-pipe dispatched
+/// (`*` = deferred), what the B-pipe retired (`!` = B-executed),
+/// coupling-queue/MSHR occupancy, the cycle's class, and control events
+/// (flushes, redirects, miss completions, runahead boundaries).
+#[must_use]
+pub fn snapshot(events: &[TraceEvent], start: u64, end: u64) -> String {
+    #[derive(Default)]
+    struct Row {
+        a: Vec<String>,
+        b: Vec<String>,
+        sample: Option<(u32, u32)>,
+        notes: Vec<String>,
+    }
+    let mut rows: BTreeMap<u64, Row> = BTreeMap::new();
+    let in_window = |c: u64| c >= start && c < end;
+    for e in events {
+        let cycle = e.cycle();
+        if !in_window(cycle) {
+            continue;
+        }
+        let row = rows.entry(cycle).or_default();
+        match *e {
+            TraceEvent::ADispatch { pc, deferred, .. } => {
+                row.a.push(format!("{pc}{}", if deferred { "*" } else { "" }));
+            }
+            TraceEvent::BRetire { pc, was_deferred, .. } => {
+                row.b.push(format!("{pc}{}", if was_deferred { "!" } else { "" }));
+            }
+            TraceEvent::QueueSample { depth, mshr, .. } => row.sample = Some((depth, mshr)),
+            TraceEvent::Flush { kind, boundary_seq, .. } => {
+                row.notes.push(format!("FLUSH {} >{boundary_seq}", kind.label()));
+            }
+            TraceEvent::ARedirect { pc, .. } => row.notes.push(format!("redirect pc={pc}")),
+            TraceEvent::MissBegin { pipe, level, fill_at, .. } => {
+                row.notes.push(format!("{pipe}-miss {level} fill@{fill_at}"));
+            }
+            TraceEvent::MissEnd { level, .. } => row.notes.push(format!("fill {level}")),
+            TraceEvent::RunaheadEnter { pc, .. } => row.notes.push(format!("ra-enter pc={pc}")),
+            TraceEvent::RunaheadExit { pc, discarded, .. } => {
+                row.notes.push(format!("ra-exit pc={pc} -{discarded}"));
+            }
+            TraceEvent::GroupDispatch { .. } | TraceEvent::ClassTransition { .. } => {}
+        }
+    }
+    // The class at each cycle comes from the interval replay, which sees
+    // the whole trace (the governing transition may precede the window).
+    let intervals = class_intervals(events);
+    let class_at = |cycle: u64| {
+        intervals
+            .iter()
+            .rev()
+            .find(|iv| iv.start <= cycle && cycle < iv.start + iv.len)
+            .map_or("?", |iv| iv.class.label())
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "cycles {start}..{end}  (* deferred, ! B-executed)");
+    let _ = writeln!(
+        out,
+        "{:>8}  {:<11} {:>3} {:>4}  {:<24} {:<24} notes",
+        "cycle", "class", "cq", "mshr", "A dispatch (pc)", "B retire (pc)"
+    );
+    for (cycle, row) in &rows {
+        let (cq, mshr) = row
+            .sample
+            .map_or(("-".to_string(), "-".to_string()), |(d, m)| (d.to_string(), m.to_string()));
+        let _ = writeln!(
+            out,
+            "{cycle:>8}  {:<11} {cq:>3} {mshr:>4}  {:<24} {:<24} {}",
+            class_at(*cycle),
+            row.a.join(","),
+            row.b.join(","),
+            row.notes.join("; ")
+        );
+    }
+    if rows.is_empty() {
+        let _ = writeln!(out, "(no events in window)");
+    }
+    out
+}
+
+// ---- Chrome trace-event export -----------------------------------------
+
+/// Track (thread) ids of the Chrome export, one per pipe stage.
+const TID_A_GROUPS: u32 = 1;
+const TID_B_GROUPS: u32 = 2;
+const TID_INFLIGHT: u32 = 3;
+const TID_MISS_A: u32 = 4;
+const TID_MISS_B: u32 = 5;
+const TID_CLASS: u32 = 6;
+const TID_CONTROL: u32 = 7;
+const TID_RUNAHEAD: u32 = 8;
+
+/// Converts a trace to Chrome trace-event JSON (the format Perfetto and
+/// `chrome://tracing` load). One simulated cycle maps to 1 µs of trace
+/// time. Tracks, one per pipe stage:
+///
+/// 1. A-pipe issue groups,
+/// 2. B-pipe issue groups,
+/// 3. in-flight instructions (dispatch→retire slices),
+/// 4. cache misses initiated by the A-pipe (slices spanning the fill),
+/// 5. the same for the B-pipe,
+/// 6. the cycle-class timeline,
+/// 7. control events (flushes, redirects),
+/// 8. runahead episodes,
+///
+/// plus counter tracks for coupling-queue depth and MSHR occupancy
+/// (emitted on change).
+#[must_use]
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let end = end_cycle(events);
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, json: String| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&json);
+    };
+    for (tid, name) in [
+        (TID_A_GROUPS, "A-pipe dispatch"),
+        (TID_B_GROUPS, "B-pipe retire"),
+        (TID_INFLIGHT, "in-flight (A to B)"),
+        (TID_MISS_A, "misses (A-pipe)"),
+        (TID_MISS_B, "misses (B-pipe)"),
+        (TID_CLASS, "cycle class"),
+        (TID_CONTROL, "control"),
+        (TID_RUNAHEAD, "runahead"),
+    ] {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            ),
+        );
+    }
+    let mut dispatched: HashMap<u64, (u64, usize, bool)> = HashMap::new();
+    let mut ra_entered: Option<(u64, usize)> = None;
+    let mut last_sample: Option<(u32, u32)> = None;
+    for e in events {
+        match *e {
+            TraceEvent::ADispatch { cycle, seq, pc, deferred } => {
+                dispatched.insert(seq, (cycle, pc, deferred));
+            }
+            TraceEvent::BRetire { cycle, seq, pc, was_deferred } => {
+                // Untraced dispatch (single-pipe models, ring-buffer
+                // tails) still yields a 1-cycle retire slice.
+                let (start, pc, deferred) =
+                    dispatched.remove(&seq).unwrap_or((cycle, pc, was_deferred));
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{TID_INFLIGHT},\"ts\":{start},\
+                         \"dur\":{},\"name\":\"pc{pc}\",\"args\":{{\"seq\":{seq},\
+                         \"deferred\":{deferred},\"b_executed\":{was_deferred}}}}}",
+                        (cycle - start).max(1)
+                    ),
+                );
+            }
+            TraceEvent::GroupDispatch { cycle, pipe, head_seq, len } => {
+                let tid = if pipe == Pipe::A { TID_A_GROUPS } else { TID_B_GROUPS };
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{cycle},\"dur\":1,\
+                         \"name\":\"group\",\"args\":{{\"head_seq\":{head_seq},\"len\":{len}}}}}"
+                    ),
+                );
+            }
+            TraceEvent::MissBegin { cycle, pipe, level, addr, fill_at } => {
+                let tid = if pipe == Pipe::A { TID_MISS_A } else { TID_MISS_B };
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{cycle},\"dur\":{},\
+                         \"name\":\"{level}\",\"args\":{{\"addr\":{addr}}}}}",
+                        fill_at.saturating_sub(cycle).max(1)
+                    ),
+                );
+            }
+            TraceEvent::Flush { cycle, kind, boundary_seq } => {
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{TID_CONTROL},\
+                         \"ts\":{cycle},\"name\":\"flush: {}\",\
+                         \"args\":{{\"boundary_seq\":{boundary_seq}}}}}",
+                        kind.label()
+                    ),
+                );
+            }
+            TraceEvent::ARedirect { cycle, pc } => {
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{TID_CONTROL},\
+                         \"ts\":{cycle},\"name\":\"A-redirect\",\"args\":{{\"pc\":{pc}}}}}"
+                    ),
+                );
+            }
+            TraceEvent::QueueSample { cycle, depth, mshr } => {
+                if last_sample != Some((depth, mshr)) {
+                    last_sample = Some((depth, mshr));
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"ph\":\"C\",\"pid\":1,\"ts\":{cycle},\"name\":\"occupancy\",\
+                             \"args\":{{\"coupling_queue\":{depth},\"mshr\":{mshr}}}}}"
+                        ),
+                    );
+                }
+            }
+            TraceEvent::RunaheadEnter { cycle, pc } => ra_entered = Some((cycle, pc)),
+            TraceEvent::RunaheadExit { cycle, discarded, .. } => {
+                if let Some((entered, pc)) = ra_entered.take() {
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"ph\":\"X\",\"pid\":1,\"tid\":{TID_RUNAHEAD},\"ts\":{entered},\
+                             \"dur\":{},\"name\":\"episode\",\"args\":{{\"pc\":{pc},\
+                             \"discarded\":{discarded}}}}}",
+                            (cycle - entered).max(1)
+                        ),
+                    );
+                }
+            }
+            TraceEvent::ClassTransition { .. } | TraceEvent::MissEnd { .. } => {}
+        }
+    }
+    if let Some((entered, pc)) = ra_entered {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{TID_RUNAHEAD},\"ts\":{entered},\"dur\":{},\
+                 \"name\":\"episode (unfinished)\",\"args\":{{\"pc\":{pc}}}}}",
+                (end - entered).max(1)
+            ),
+        );
+    }
+    for iv in class_intervals(events) {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{TID_CLASS},\"ts\":{},\"dur\":{},\
+                 \"name\":\"{}\"}}",
+                iv.start,
+                iv.len,
+                iv.class.label()
+            ),
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Renders a histogram as `lo..hi count bar` lines for terminal output.
+#[must_use]
+pub fn render_histogram(h: &Histogram) -> String {
+    let mut out = String::new();
+    if h.count() == 0 {
+        let _ = writeln!(out, "  (empty)");
+        return out;
+    }
+    let peak = h.buckets().map(|(_, _, n)| n).max().unwrap_or(1);
+    for (lo, hi, n) in h.buckets() {
+        let bar = "#".repeat(((n * 40).div_ceil(peak)) as usize);
+        let range = if lo == hi { format!("{lo}") } else { format!("{lo}..{hi}") };
+        let _ = writeln!(out, "  {range:>14}  {n:>10}  {bar}");
+    }
+    let _ = writeln!(
+        out,
+        "  n={} mean={:.2} p50<={} p99<={} max={}",
+        h.count(),
+        h.mean(),
+        h.quantile_bound(0.50),
+        h.quantile_bound(0.99),
+        h.max()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_core::{JsonlSink, MachineConfig, TwoPass};
+    use ff_workloads::Scale;
+    use serde::Value;
+    use std::io::BufReader;
+
+    fn traced_jsonl() -> (ff_core::SimReport, Vec<u8>) {
+        let w = ff_workloads::benchmark_by_name("mcf-like", Scale::Tiny).unwrap();
+        let mut sink = JsonlSink::new(Vec::new());
+        let r = TwoPass::new(&w.program, w.memory.clone(), MachineConfig::paper_table1())
+            .run_with_sink(w.budget, &mut sink);
+        assert!(!sink.errored());
+        (r, sink.into_inner().unwrap())
+    }
+
+    #[test]
+    fn load_round_trips_and_class_totals_match_breakdown() {
+        let (report, bytes) = traced_jsonl();
+        let events = load_events(BufReader::new(bytes.as_slice())).unwrap();
+        assert!(!events.is_empty());
+        assert_eq!(end_cycle(&events), report.cycles);
+        let totals = class_totals(&class_intervals(&events));
+        let mut expected = [0u64; 6];
+        for (class, n) in report.breakdown.iter() {
+            expected[class.index()] = n;
+        }
+        assert_eq!(totals, expected, "replayed class cycles disagree with the breakdown");
+        let s = summarize(&events);
+        assert_eq!(s.retires, report.retired);
+        assert_eq!(s.class_cycles, totals);
+        assert_eq!(s.samples, report.cycles);
+    }
+
+    #[test]
+    fn occupancy_and_slip_agree_with_always_on_stats() {
+        let (report, bytes) = traced_jsonl();
+        let events = load_events(BufReader::new(bytes.as_slice())).unwrap();
+        let tp = report.two_pass.unwrap();
+        let o = occupancy(&events);
+        assert_eq!(o.depth_hist.count(), report.cycles);
+        assert_eq!(o.depth_hist.sum(), tp.queue_depth_hist.sum());
+        let s = slip_stats(&events);
+        assert_eq!(s.slip.count(), report.retired);
+        assert_eq!(s.slip.sum(), tp.slip_hist.sum());
+        // `deferred` increments exactly once per deferred dispatch, and
+        // every deferred dispatch lands in exactly one run.
+        assert_eq!(s.deferral_runs.sum(), tp.deferred);
+    }
+
+    #[test]
+    fn snapshot_covers_the_window() {
+        let (_, bytes) = traced_jsonl();
+        let events = load_events(BufReader::new(bytes.as_slice())).unwrap();
+        let text = snapshot(&events, 0, 40);
+        assert!(text.contains("cycle"));
+        // Every cycle in the window has a queue sample, so rows exist.
+        assert!(text.lines().count() > 10, "snapshot too short:\n{text}");
+        let empty = snapshot(&events, u64::MAX - 10, u64::MAX);
+        assert!(empty.contains("no events"));
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_expected_tracks() {
+        let (report, bytes) = traced_jsonl();
+        let events = load_events(BufReader::new(bytes.as_slice())).unwrap();
+        let json = chrome_trace(&events);
+        let v: Value = serde_json::from_str(&json).expect("chrome export must parse as JSON");
+        let list = v.get("traceEvents").expect("traceEvents key");
+        let Value::Array(items) = list else { panic!("traceEvents must be an array") };
+        // 8 metadata records + at least one slice per retired instruction.
+        assert!(items.len() as u64 > 8 + report.retired);
+        let mut saw_inflight = 0u64;
+        let mut saw_class = 0u64;
+        for item in items {
+            let ph = item.get("ph").and_then(Value::as_str).expect("ph");
+            assert!(matches!(ph, "M" | "X" | "i" | "C"), "unexpected phase {ph}");
+            if ph == "X" {
+                let tid = item.get("tid").and_then(Value::as_u64).expect("tid");
+                if tid == u64::from(TID_INFLIGHT) {
+                    saw_inflight += 1;
+                }
+                if tid == u64::from(TID_CLASS) {
+                    saw_class += 1;
+                }
+            }
+        }
+        assert_eq!(saw_inflight, report.retired, "one in-flight slice per retire");
+        assert_eq!(saw_class as usize, class_intervals(&events).len());
+    }
+
+    #[test]
+    fn load_reports_the_bad_line() {
+        let text = "not json\n";
+        let err = load_events(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn render_histogram_handles_empty_and_filled() {
+        let empty = Histogram::default();
+        assert!(render_histogram(&empty).contains("empty"));
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 100] {
+            h.observe(v);
+        }
+        let text = render_histogram(&h);
+        assert!(text.contains("n=5"));
+        assert!(text.contains('#'));
+    }
+}

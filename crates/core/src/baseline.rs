@@ -18,6 +18,8 @@ use crate::config::MachineConfig;
 use crate::exec_common::{fitting_prefix, op_latency};
 use crate::frontend::{Frontend, FrontendConfig};
 use crate::report::{BranchStats, MemAccessStats, ModelKind, Pipe, SimReport};
+use crate::sink::{SinkHandle, TraceSink};
+use crate::trace::{Trace, TraceEvent};
 use ff_isa::reg::TOTAL_REGS;
 use ff_isa::{evaluate, load_write, Effect, MemoryImage, Opcode, Program, RegId};
 use ff_mem::{DataHierarchy, MemLevel, MshrFile};
@@ -59,6 +61,9 @@ pub struct Baseline<'p> {
     cycle: u64,
     retired: u64,
     halted: bool,
+    /// In-flight fills awaiting a `MissEnd` event, as `(fill_at, addr,
+    /// level)`. Populated only while a trace sink is attached.
+    pending_misses: Vec<(u64, u64, MemLevel)>,
     breakdown: CycleBreakdown,
     mem_stats: MemAccessStats,
     branches: BranchStats,
@@ -90,6 +95,7 @@ impl<'p> Baseline<'p> {
             cycle: 0,
             retired: 0,
             halted: false,
+            pending_misses: Vec::new(),
             breakdown: CycleBreakdown::new(),
             mem_stats: MemAccessStats::default(),
             branches: BranchStats::default(),
@@ -105,6 +111,27 @@ impl<'p> Baseline<'p> {
     #[must_use]
     pub fn run(self, max_instrs: u64) -> SimReport {
         self.run_with_state(max_instrs).0
+    }
+
+    /// Runs with every pipeline event streamed into `sink` (see
+    /// [`crate::sink`] for bounded and streaming sinks).
+    #[must_use]
+    pub fn run_with_sink(mut self, max_instrs: u64, sink: &mut dyn TraceSink) -> SimReport {
+        let mut handle = SinkHandle::on(sink);
+        self.run_loop(max_instrs, &mut handle);
+        handle.finish();
+        self.into_report()
+    }
+
+    /// Runs with event tracing enabled, returning the report and the
+    /// recorded in-memory [`Trace`].
+    #[must_use]
+    pub fn run_traced(mut self, max_instrs: u64) -> (SimReport, Trace) {
+        let mut trace = Trace::new();
+        let mut handle = SinkHandle::on(&mut trace);
+        self.run_loop(max_instrs, &mut handle);
+        handle.finish();
+        (self.into_report(), trace)
     }
 
     /// First blocking register of the group, if any: returns the stall
@@ -135,7 +162,7 @@ impl<'p> Baseline<'p> {
         None
     }
 
-    fn step_issue(&mut self) -> CycleClass {
+    fn step_issue(&mut self, sink: &mut SinkHandle) -> CycleClass {
         let Some(group_len) = self.frontend.complete_group_len() else {
             return CycleClass::FrontEndStall;
         };
@@ -159,12 +186,20 @@ impl<'p> Baseline<'p> {
         }
 
         // Issue the prefix in order.
+        let head_seq = self.frontend.peek(0).seq;
         let mut issued = 0;
         let mut redirect: Option<(usize, u64)> = None;
         for i in 0..n {
             let f = *self.frontend.peek(i);
             self.retired += 1;
             issued += 1;
+            // One pipe: dispatch and retire are the same event here.
+            sink.emit_with(|| TraceEvent::BRetire {
+                cycle: self.cycle,
+                seq: f.seq,
+                pc: f.pc,
+                was_deferred: false,
+            });
             match evaluate(&f.insn, &self.regs) {
                 Effect::Nullified | Effect::Nop => {}
                 Effect::Write(writes) => {
@@ -178,7 +213,7 @@ impl<'p> Baseline<'p> {
                 Effect::Load { addr, size, signed, dest } => {
                     let raw = self.mem_img.read(addr, size);
                     let out = self.hier.load(addr);
-                    let done = self.finish_load(addr, out.level, out.latency);
+                    let done = self.finish_load(addr, out.level, out.latency, sink);
                     self.mem_stats.record_load(Pipe::B, out.level, out.latency);
                     self.regs[dest.index()] = load_write(raw, size, signed);
                     self.ready_at[dest.index()] = done;
@@ -207,7 +242,16 @@ impl<'p> Baseline<'p> {
         }
 
         self.frontend.consume(issued);
+        if issued > 0 {
+            sink.emit_with(|| TraceEvent::GroupDispatch {
+                cycle: self.cycle,
+                pipe: Pipe::B,
+                head_seq,
+                len: issued as u32,
+            });
+        }
         if let Some((pc, at)) = redirect {
+            sink.emit_with(|| TraceEvent::ARedirect { cycle: self.cycle, pc });
             self.frontend.redirect(pc, at);
         }
         CycleClass::Unstalled
@@ -215,7 +259,13 @@ impl<'p> Baseline<'p> {
 
     /// Books a load's fill: L1 hits bypass the MSHRs; misses allocate or
     /// merge. Returns the data-ready cycle.
-    fn finish_load(&mut self, addr: u64, level: MemLevel, latency: u64) -> u64 {
+    fn finish_load(
+        &mut self,
+        addr: u64,
+        level: MemLevel,
+        latency: u64,
+        sink: &mut SinkHandle,
+    ) -> u64 {
         let done = self.cycle + latency;
         let line = self.cfg.hierarchy.l2.line_of(addr);
         if level == MemLevel::L1 {
@@ -226,7 +276,18 @@ impl<'p> Baseline<'p> {
                 None => done,
             };
         }
-        self.mshrs.request(self.cycle, line, done).unwrap_or(done).max(done)
+        let fill_at = self.mshrs.request(self.cycle, line, done).unwrap_or(done).max(done);
+        if sink.is_on() {
+            sink.emit_with(|| TraceEvent::MissBegin {
+                cycle: self.cycle,
+                pipe: Pipe::B,
+                level,
+                addr,
+                fill_at,
+            });
+            self.pending_misses.push((fill_at, addr, level));
+        }
+        fill_at
     }
 
     /// Updates branch statistics and the predictor; returns whether the
@@ -259,7 +320,7 @@ impl<'p> Baseline<'p> {
     }
 
     fn into_report(self) -> SimReport {
-        SimReport {
+        let mut report = SimReport {
             model: ModelKind::Baseline,
             cycles: self.cycle,
             retired: self.retired,
@@ -269,15 +330,29 @@ impl<'p> Baseline<'p> {
             hierarchy: *self.hier.stats(),
             mshr: self.mshrs.stats(),
             two_pass: None,
+            metrics: crate::metrics::MetricsSnapshot::default(),
+        };
+        report.collect_metrics();
+        report
+    }
+
+    /// Emits `MissEnd` for every booked fill that has completed.
+    fn drain_pending_misses(&mut self, sink: &mut SinkHandle) {
+        let now = self.cycle;
+        let mut i = 0;
+        while i < self.pending_misses.len() {
+            if self.pending_misses[i].0 <= now {
+                let (fill_at, addr, level) = self.pending_misses.swap_remove(i);
+                sink.emit_with(|| TraceEvent::MissEnd { cycle: fill_at, addr, level });
+            } else {
+                i += 1;
+            }
         }
     }
 
-    /// Runs to completion and returns both the report and the final
-    /// architectural state (register bits and memory) for differential
-    /// testing against the golden interpreter.
-    #[must_use]
-    pub fn run_with_state(mut self, max_instrs: u64) -> (SimReport, [u64; TOTAL_REGS], MemoryImage) {
+    fn run_loop(&mut self, max_instrs: u64, sink: &mut SinkHandle) {
         let cycle_cap = max_instrs.saturating_mul(500).max(1_000_000);
+        let mut last_class: Option<CycleClass> = None;
         while !self.halted && self.retired < max_instrs {
             assert!(
                 self.cycle < cycle_cap,
@@ -286,8 +361,27 @@ impl<'p> Baseline<'p> {
                 self.retired
             );
             self.frontend.tick(self.cycle);
-            let class = self.step_issue();
+            if sink.is_on() {
+                self.drain_pending_misses(sink);
+            }
+            let class = self.step_issue(sink);
             self.breakdown.charge(class);
+            if sink.is_on() {
+                if last_class != Some(class) {
+                    let from = last_class.unwrap_or(class);
+                    sink.emit_with(|| TraceEvent::ClassTransition {
+                        cycle: self.cycle,
+                        from,
+                        to: class,
+                    });
+                    last_class = Some(class);
+                }
+                sink.emit_with(|| TraceEvent::QueueSample {
+                    cycle: self.cycle,
+                    depth: 0,
+                    mshr: self.mshrs.outstanding(self.cycle) as u32,
+                });
+            }
             self.cycle += 1;
             if self.frontend.is_drained()
                 && self.frontend.complete_group_len().is_none()
@@ -296,6 +390,17 @@ impl<'p> Baseline<'p> {
                 break;
             }
         }
+    }
+
+    /// Runs to completion and returns both the report and the final
+    /// architectural state (register bits and memory) for differential
+    /// testing against the golden interpreter.
+    #[must_use]
+    pub fn run_with_state(
+        mut self,
+        max_instrs: u64,
+    ) -> (SimReport, [u64; TOTAL_REGS], MemoryImage) {
+        self.run_loop(max_instrs, &mut SinkHandle::off());
         let regs = self.regs;
         let mem = self.mem_img.clone();
         (self.into_report(), regs, mem)
@@ -445,6 +550,30 @@ mod tests {
         assert!(report.breakdown[CycleClass::FrontEndStall] > 0);
         // All baseline repairs happen at the (single) DET stage.
         assert_eq!(report.branches.repaired_in_a, report.branches.mispredicted);
+    }
+
+    #[test]
+    fn run_traced_smoke() {
+        let (program, mem) = chase_program(8);
+        let plain = Baseline::new(&program, mem.clone(), cfg()).run(1_000_000);
+        let (report, trace) = Baseline::new(&program, mem, cfg()).run_traced(1_000_000);
+        assert_eq!(report.cycles, plain.cycles, "tracing must not perturb timing");
+        let retires =
+            trace.events().iter().filter(|e| matches!(e, TraceEvent::BRetire { .. })).count()
+                as u64;
+        assert_eq!(retires, report.retired);
+        assert!(trace.events().iter().any(|e| matches!(e, TraceEvent::GroupDispatch { .. })));
+        assert!(trace.events().iter().any(|e| matches!(e, TraceEvent::ClassTransition { .. })));
+        assert!(
+            trace.events().iter().any(|e| matches!(e, TraceEvent::MissBegin { .. }))
+                && trace.events().iter().any(|e| matches!(e, TraceEvent::MissEnd { .. })),
+            "a pointer chase must record cache misses"
+        );
+        // The baseline has no coupling queue: every sample reports depth 0.
+        assert!(trace
+            .events()
+            .iter()
+            .all(|e| !matches!(e, TraceEvent::QueueSample { depth, .. } if *depth != 0)));
     }
 
     #[test]

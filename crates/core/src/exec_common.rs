@@ -89,7 +89,7 @@ where
             break;
         }
     }
-    n.max(1).min(usize::MAX)
+    n.max(1)
 }
 
 #[cfg(test)]
@@ -116,10 +116,7 @@ mod tests {
         let lat = OpLatencies::defaults();
         assert_eq!(op_latency(&alu(), &lat), 1);
         assert_eq!(
-            op_latency(
-                &Opcode::Mul { d: IntReg::n(1), a: IntReg::n(1), b: IntReg::n(1) },
-                &lat
-            ),
+            op_latency(&Opcode::Mul { d: IntReg::n(1), a: IntReg::n(1), b: IntReg::n(1) }, &lat),
             3
         );
         assert_eq!(
@@ -160,8 +157,7 @@ mod tests {
     #[test]
     fn mixed_group_fits_paper_slots() {
         let slots = FuSlots::paper_table1();
-        let ops =
-            [alu(), alu(), alu(), alu(), alu(), ld(), ld(), Opcode::Br { target: 0 }];
+        let ops = [alu(), alu(), alu(), alu(), alu(), ld(), ld(), Opcode::Br { target: 0 }];
         assert_eq!(fitting_prefix(ops.iter(), &slots, 8), 8);
     }
 }

@@ -23,15 +23,23 @@ pub mod baseline;
 pub mod config;
 pub mod exec_common;
 pub mod frontend;
+pub mod metrics;
 pub mod report;
 pub mod runahead;
+pub mod sink;
 pub mod trace;
 pub mod two_pass;
 
 pub use accounting::{CycleBreakdown, CycleClass};
 pub use baseline::Baseline;
-pub use two_pass::TwoPass;
-pub use config::{FeedbackLatency, FuSlots, MachineConfig, OpLatencies, ThrottleConfig, TwoPassConfig};
-pub use runahead::{Runahead, RunaheadStats};
-pub use trace::{FlushKind, Trace, TraceEvent};
+pub use config::{
+    FeedbackLatency, FuSlots, MachineConfig, OpLatencies, ThrottleConfig, TwoPassConfig,
+};
+pub use metrics::{
+    CounterEntry, Histogram, HistogramEntry, MetricSource, MetricsBuilder, MetricsSnapshot,
+};
 pub use report::{BranchStats, MemAccessStats, ModelKind, Pipe, SimReport, TwoPassStats};
+pub use runahead::{Runahead, RunaheadStats};
+pub use sink::{parse_jsonl_line, JsonlSink, RingSink, SinkHandle, TraceSink};
+pub use trace::{FlushKind, Trace, TraceEvent};
+pub use two_pass::TwoPass;

@@ -20,6 +20,8 @@ use crate::config::MachineConfig;
 use crate::exec_common::{fitting_prefix, op_latency};
 use crate::frontend::{Frontend, FrontendConfig};
 use crate::report::{BranchStats, MemAccessStats, ModelKind, Pipe, SimReport};
+use crate::sink::{SinkHandle, TraceSink};
+use crate::trace::{Trace, TraceEvent};
 use ff_isa::reg::TOTAL_REGS;
 use ff_isa::{evaluate, load_write, Effect, MemoryImage, Opcode, Program};
 use ff_mem::{DataHierarchy, MemLevel, MshrFile};
@@ -74,6 +76,9 @@ pub struct Runahead<'p> {
     cycle: u64,
     retired: u64,
     halted: bool,
+    /// In-flight fills awaiting a `MissEnd` event, as `(fill_at, addr,
+    /// level)`. Populated only while a trace sink is attached.
+    pending_misses: Vec<(u64, u64, MemLevel)>,
     breakdown: CycleBreakdown,
     mem_stats: MemAccessStats,
     branches: BranchStats,
@@ -98,6 +103,9 @@ struct RaMode {
     stores: HashMap<u64, u8>,
     /// Set when runahead ran off a halt or drained: idle until `until`.
     done: bool,
+    /// `discarded_instrs` at episode entry, so the exit event can report
+    /// how many speculative instructions this episode threw away.
+    discarded_at_entry: u64,
 }
 
 impl RaMode {
@@ -143,6 +151,7 @@ impl<'p> Runahead<'p> {
             cycle: 0,
             retired: 0,
             halted: false,
+            pending_misses: Vec::new(),
             breakdown: CycleBreakdown::new(),
             mem_stats: MemAccessStats::default(),
             branches: BranchStats::default(),
@@ -157,13 +166,42 @@ impl<'p> Runahead<'p> {
         self.run_with_state(max_instrs).0
     }
 
+    /// Runs with every pipeline event streamed into `sink` (see
+    /// [`crate::sink`] for bounded and streaming sinks).
+    #[must_use]
+    pub fn run_with_sink(mut self, max_instrs: u64, sink: &mut dyn TraceSink) -> SimReport {
+        let mut handle = SinkHandle::on(sink);
+        self.run_loop(max_instrs, &mut handle);
+        handle.finish();
+        self.into_report()
+    }
+
+    /// Runs with event tracing enabled, returning the report and the
+    /// recorded in-memory [`Trace`].
+    #[must_use]
+    pub fn run_traced(mut self, max_instrs: u64) -> (SimReport, Trace) {
+        let mut trace = Trace::new();
+        let mut handle = SinkHandle::on(&mut trace);
+        self.run_loop(max_instrs, &mut handle);
+        handle.finish();
+        (self.into_report(), trace)
+    }
+
     /// Runs to completion, returning final architectural state as well.
     #[must_use]
     pub fn run_with_state(
         mut self,
         max_instrs: u64,
     ) -> (SimReport, [u64; TOTAL_REGS], MemoryImage) {
+        self.run_loop(max_instrs, &mut SinkHandle::off());
+        let regs = self.regs;
+        let mem = self.mem_img.clone();
+        (self.into_report(), regs, mem)
+    }
+
+    fn run_loop(&mut self, max_instrs: u64, sink: &mut SinkHandle) {
         let cycle_cap = max_instrs.saturating_mul(500).max(1_000_000);
+        let mut last_class: Option<CycleClass> = None;
         while !self.halted && self.retired < max_instrs {
             assert!(
                 self.cycle < cycle_cap,
@@ -172,8 +210,27 @@ impl<'p> Runahead<'p> {
                 self.retired
             );
             self.frontend.tick(self.cycle);
-            let class = if self.ra.is_some() { self.ra_step() } else { self.normal_step() };
+            if sink.is_on() {
+                self.drain_pending_misses(sink);
+            }
+            let class = if self.ra.is_some() { self.ra_step(sink) } else { self.normal_step(sink) };
             self.breakdown.charge(class);
+            if sink.is_on() {
+                if last_class != Some(class) {
+                    let from = last_class.unwrap_or(class);
+                    sink.emit_with(|| TraceEvent::ClassTransition {
+                        cycle: self.cycle,
+                        from,
+                        to: class,
+                    });
+                    last_class = Some(class);
+                }
+                sink.emit_with(|| TraceEvent::QueueSample {
+                    cycle: self.cycle,
+                    depth: 0,
+                    mshr: self.mshrs.outstanding(self.cycle) as u32,
+                });
+            }
             self.cycle += 1;
             if self.ra.is_none()
                 && self.frontend.is_drained()
@@ -183,14 +240,25 @@ impl<'p> Runahead<'p> {
                 break;
             }
         }
-        let regs = self.regs;
-        let mem = self.mem_img.clone();
-        (self.into_report(), regs, mem)
+    }
+
+    /// Emits `MissEnd` for every booked fill that has completed.
+    fn drain_pending_misses(&mut self, sink: &mut SinkHandle) {
+        let now = self.cycle;
+        let mut i = 0;
+        while i < self.pending_misses.len() {
+            if self.pending_misses[i].0 <= now {
+                let (fill_at, addr, level) = self.pending_misses.swap_remove(i);
+                sink.emit_with(|| TraceEvent::MissEnd { cycle: fill_at, addr, level });
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// Normal-mode issue: identical to the baseline, except a load-use
     /// stall flips the machine into runahead instead of idling.
-    fn normal_step(&mut self) -> CycleClass {
+    fn normal_step(&mut self, sink: &mut SinkHandle) -> CycleClass {
         let Some(group_len) = self.frontend.complete_group_len() else {
             return CycleClass::FrontEndStall;
         };
@@ -213,7 +281,7 @@ impl<'p> Runahead<'p> {
         }
         if let Some((class, stall_pc, until)) = block {
             if class == CycleClass::LoadStall {
-                self.enter_runahead(stall_pc, until);
+                self.enter_runahead(stall_pc, until, sink);
             }
             return class;
         }
@@ -224,12 +292,19 @@ impl<'p> Runahead<'p> {
             return CycleClass::ResourceStall;
         }
 
+        let head_seq = self.frontend.peek(0).seq;
         let mut issued = 0;
         let mut redirect: Option<(usize, u64)> = None;
         for i in 0..n {
             let f = *self.frontend.peek(i);
             self.retired += 1;
             issued += 1;
+            sink.emit_with(|| TraceEvent::BRetire {
+                cycle: self.cycle,
+                seq: f.seq,
+                pc: f.pc,
+                was_deferred: false,
+            });
             match evaluate(&f.insn, &self.regs) {
                 Effect::Nullified | Effect::Nop => {}
                 Effect::Write(writes) => {
@@ -243,7 +318,7 @@ impl<'p> Runahead<'p> {
                 Effect::Load { addr, size, signed, dest } => {
                     let raw = self.mem_img.read(addr, size);
                     let out = self.hier.load(addr);
-                    let done = self.book_load(addr, out.level, out.latency);
+                    let done = self.book_load(addr, out.level, out.latency, Pipe::B, sink);
                     self.mem_stats.record_load(Pipe::B, out.level, out.latency);
                     self.regs[dest.index()] = load_write(raw, size, signed);
                     self.ready_at[dest.index()] = done;
@@ -276,14 +351,24 @@ impl<'p> Runahead<'p> {
             }
         }
         self.frontend.consume(issued);
+        if issued > 0 {
+            sink.emit_with(|| TraceEvent::GroupDispatch {
+                cycle: self.cycle,
+                pipe: Pipe::B,
+                head_seq,
+                len: issued as u32,
+            });
+        }
         if let Some((pc, at)) = redirect {
+            sink.emit_with(|| TraceEvent::ARedirect { cycle: self.cycle, pc });
             self.frontend.redirect(pc, at);
         }
         CycleClass::Unstalled
     }
 
-    fn enter_runahead(&mut self, stall_pc: usize, until: u64) {
+    fn enter_runahead(&mut self, stall_pc: usize, until: u64, sink: &mut SinkHandle) {
         self.ra_stats.episodes += 1;
+        sink.emit_with(|| TraceEvent::RunaheadEnter { cycle: self.cycle, pc: stall_pc });
         self.ra = Some(RaMode {
             until,
             resume_pc: stall_pc,
@@ -292,32 +377,38 @@ impl<'p> Runahead<'p> {
             ready_at: self.ready_at,
             stores: HashMap::new(),
             done: false,
+            discarded_at_entry: self.ra_stats.discarded_instrs,
         });
     }
 
     /// One cycle of runahead pre-execution. Architecturally the machine
     /// is still stalled on the blocking load, so the cycle is charged as
     /// a load stall.
-    fn ra_step(&mut self) -> CycleClass {
+    fn ra_step(&mut self, sink: &mut SinkHandle) -> CycleClass {
         let mut ra = self.ra.take().expect("in runahead mode");
         self.ra_stats.runahead_cycles += 1;
 
         if self.cycle >= ra.until {
             // Blocking load returned: restore the checkpoint and refetch
             // from the stalled group.
+            sink.emit_with(|| TraceEvent::RunaheadExit {
+                cycle: self.cycle,
+                pc: ra.resume_pc,
+                discarded: self.ra_stats.discarded_instrs - ra.discarded_at_entry,
+            });
             self.frontend.redirect(ra.resume_pc, self.cycle + EXIT_PENALTY);
             return CycleClass::LoadStall;
         }
 
         if !ra.done {
-            self.ra_issue(&mut ra);
+            self.ra_issue(&mut ra, sink);
         }
         self.ra = Some(ra);
         CycleClass::LoadStall
     }
 
     /// Issues one group speculatively under INV semantics.
-    fn ra_issue(&mut self, ra: &mut RaMode) {
+    fn ra_issue(&mut self, ra: &mut RaMode, sink: &mut SinkHandle) {
         let Some(group_len) = self.frontend.complete_group_len() else {
             return;
         };
@@ -358,7 +449,7 @@ impl<'p> Runahead<'p> {
                         // The whole point: initiate the miss early.
                         let raw = ra.read_mem(&self.mem_img, addr, size);
                         let out = self.hier.load(addr);
-                        let done = self.book_load(addr, out.level, out.latency);
+                        let done = self.book_load(addr, out.level, out.latency, Pipe::A, sink);
                         self.mem_stats.record_load(Pipe::A, out.level, out.latency);
                         self.ra_stats.runahead_loads += 1;
                         ra.regs[dest.index()] = load_write(raw, size, signed);
@@ -401,7 +492,14 @@ impl<'p> Runahead<'p> {
         }
     }
 
-    fn book_load(&mut self, addr: u64, level: MemLevel, latency: u64) -> u64 {
+    fn book_load(
+        &mut self,
+        addr: u64,
+        level: MemLevel,
+        latency: u64,
+        pipe: Pipe,
+        sink: &mut SinkHandle,
+    ) -> u64 {
         let done = self.cycle + latency;
         let line = self.cfg.hierarchy.l2.line_of(addr);
         if level == MemLevel::L1 {
@@ -412,7 +510,18 @@ impl<'p> Runahead<'p> {
                 None => done,
             };
         }
-        self.mshrs.request(self.cycle, line, done).unwrap_or(done).max(done)
+        let fill_at = self.mshrs.request(self.cycle, line, done).unwrap_or(done).max(done);
+        if sink.is_on() {
+            sink.emit_with(|| TraceEvent::MissBegin {
+                cycle: self.cycle,
+                pipe,
+                level,
+                addr,
+                fill_at,
+            });
+            self.pending_misses.push((fill_at, addr, level));
+        }
+        fill_at
     }
 
     /// Runahead-specific statistics.
@@ -422,7 +531,7 @@ impl<'p> Runahead<'p> {
     }
 
     fn into_report(self) -> SimReport {
-        SimReport {
+        let mut report = SimReport {
             model: ModelKind::Runahead,
             cycles: self.cycle,
             retired: self.retired,
@@ -432,7 +541,18 @@ impl<'p> Runahead<'p> {
             hierarchy: *self.hier.stats(),
             mshr: self.mshrs.stats(),
             two_pass: None,
-        }
+            metrics: crate::metrics::MetricsSnapshot::default(),
+        };
+        report.collect_metrics();
+        // The runahead counters are model-specific; splice them into the
+        // uniform namespace by hand.
+        let mut b = crate::metrics::MetricsBuilder::new();
+        b.counter("runahead.episodes", self.ra_stats.episodes)
+            .counter("runahead.cycles", self.ra_stats.runahead_cycles)
+            .counter("runahead.loads", self.ra_stats.runahead_loads)
+            .counter("runahead.discarded_instrs", self.ra_stats.discarded_instrs);
+        report.metrics.counters.extend(b.build().counters);
+        report
     }
 }
 
@@ -491,8 +611,7 @@ mod tests {
         let mut interp = ArchState::new(&program, mem.clone());
         interp.run(1_000_000);
 
-        let (report, regs, sim_mem) =
-            Runahead::new(&program, mem, cfg()).run_with_state(1_000_000);
+        let (report, regs, sim_mem) = Runahead::new(&program, mem, cfg()).run_with_state(1_000_000);
         assert_eq!(report.retired, interp.instr_count());
         assert_eq!(&regs, interp.reg_bits());
         assert_eq!(&sim_mem, interp.mem());
@@ -519,9 +638,11 @@ mod tests {
         let mut sim = Runahead::new(&program, mem, cfg());
         // Drive manually so stats remain accessible.
         let mut guard = 0;
+        let mut off = SinkHandle::off();
         while !sim.halted && guard < 1_000_000 {
             sim.frontend.tick(sim.cycle);
-            let class = if sim.ra.is_some() { sim.ra_step() } else { sim.normal_step() };
+            let class =
+                if sim.ra.is_some() { sim.ra_step(&mut off) } else { sim.normal_step(&mut off) };
             sim.breakdown.charge(class);
             sim.cycle += 1;
             guard += 1;
@@ -530,6 +651,37 @@ mod tests {
         assert!(stats.episodes > 0);
         assert!(stats.runahead_loads > 0, "{stats:?}");
         assert!(stats.runahead_cycles >= stats.episodes);
+    }
+
+    #[test]
+    fn run_traced_records_episodes_and_matches_untraced_timing() {
+        let (program, mem) = stream_program(64);
+        let plain = Runahead::new(&program, mem.clone(), cfg()).run(1_000_000);
+        let (report, trace) = Runahead::new(&program, mem, cfg()).run_traced(1_000_000);
+        assert_eq!(report.cycles, plain.cycles, "tracing must not perturb timing");
+        assert_eq!(report.retired, plain.retired);
+        let enters =
+            trace.events().iter().filter(|e| matches!(e, TraceEvent::RunaheadEnter { .. })).count()
+                as u64;
+        let exits: Vec<u64> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::RunaheadExit { discarded, .. } => Some(*discarded),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(enters, report.metrics.counter("runahead.episodes").unwrap());
+        assert!(!exits.is_empty());
+        assert_eq!(
+            exits.iter().sum::<u64>(),
+            report.metrics.counter("runahead.discarded_instrs").unwrap(),
+            "per-episode discard counts must sum to the total"
+        );
+        let retires =
+            trace.events().iter().filter(|e| matches!(e, TraceEvent::BRetire { .. })).count()
+                as u64;
+        assert_eq!(retires, report.retired);
     }
 
     #[test]

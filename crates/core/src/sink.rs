@@ -1,0 +1,315 @@
+//! Trace sinks: where [`TraceEvent`]s go.
+//!
+//! The grow-only [`Trace`] is fine for unit tests and short windows,
+//! but a multi-million-instruction run emits tens of millions of
+//! events. [`TraceSink`] decouples event *production* (the models)
+//! from *retention policy*:
+//!
+//! * [`Trace`] — keep everything in memory (analysis helpers).
+//! * [`RingSink`] — keep only the last `capacity` events, O(1) memory.
+//! * [`JsonlSink`] — stream every event as one JSON line to any
+//!   [`std::io::Write`], O(1) memory; the `ff-trace` tool reads this
+//!   format back.
+//!
+//! Models never see a sink directly; they receive a [`SinkHandle`],
+//! which is `None`-cheap when tracing is off: every probe site is
+//! `sink.emit_with(|| ...)`, a single branch before the closure (and
+//! its event construction) runs.
+
+use crate::trace::{Trace, TraceEvent};
+use std::collections::VecDeque;
+use std::io;
+
+/// A consumer of pipeline trace events.
+pub trait TraceSink {
+    /// Accepts one event.
+    fn emit(&mut self, e: TraceEvent);
+
+    /// Flushes any buffered output. Called once when a traced run ends.
+    fn finish(&mut self) {}
+}
+
+impl TraceSink for Trace {
+    fn emit(&mut self, e: TraceEvent) {
+        self.push(e);
+    }
+}
+
+/// A bounded sink retaining only the most recent events.
+///
+/// When full, the oldest event is dropped to admit the new one;
+/// [`RingSink::dropped`] counts the evictions so analysis code can
+/// tell a complete trace from a tail window.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring retaining at most `capacity` events (at least 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { buf: VecDeque::with_capacity(capacity), capacity, dropped: 0 }
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many events were evicted to stay within capacity.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drains the retained window into an owned [`Trace`] for the
+    /// analysis helpers (`timeline`, Display).
+    #[must_use]
+    pub fn into_trace(self) -> Trace {
+        let mut t = Trace::new();
+        for e in self.buf {
+            t.push(e);
+        }
+        t
+    }
+}
+
+impl TraceSink for RingSink {
+    fn emit(&mut self, e: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(e);
+    }
+}
+
+/// Streams each event as one JSON object per line (JSONL).
+///
+/// Writing is buffered internally; call [`TraceSink::finish`] (done
+/// automatically by `run_with_sink`) or drop the sink to flush.
+#[derive(Debug)]
+pub struct JsonlSink<W: io::Write> {
+    out: io::BufWriter<W>,
+    written: u64,
+    errored: bool,
+}
+
+impl<W: io::Write> JsonlSink<W> {
+    /// Wraps a writer. Lines are flushed on [`TraceSink::finish`].
+    pub fn new(out: W) -> Self {
+        Self { out: io::BufWriter::new(out), written: 0, errored: false }
+    }
+
+    /// Number of events successfully serialized.
+    #[must_use]
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Whether any write failed (subsequent events are dropped).
+    #[must_use]
+    pub fn errored(&self) -> bool {
+        self.errored
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        use io::Write as _;
+        self.out.flush()?;
+        self.out.into_inner().map_err(|e| io::Error::other(e.to_string()))
+    }
+}
+
+impl<W: io::Write> TraceSink for JsonlSink<W> {
+    fn emit(&mut self, e: TraceEvent) {
+        if self.errored {
+            return;
+        }
+        use io::Write as _;
+        let Ok(line) = serde_json::to_string(&e) else {
+            self.errored = true;
+            return;
+        };
+        if writeln!(self.out, "{line}").is_err() {
+            self.errored = true;
+            return;
+        }
+        self.written += 1;
+    }
+
+    fn finish(&mut self) {
+        use io::Write as _;
+        let _ = self.out.flush();
+    }
+}
+
+/// Parses one JSONL line produced by [`JsonlSink`] back into an event.
+///
+/// # Errors
+/// Returns the parse error message if the line is not a valid
+/// serialized [`TraceEvent`].
+pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, String> {
+    serde_json::from_str(line).map_err(|e| format!("bad trace line: {e:?}"))
+}
+
+/// A maybe-absent borrowed sink, threaded through the model step
+/// functions. `off()` costs one `Option` discriminant test per probe.
+pub struct SinkHandle<'a> {
+    inner: Option<&'a mut dyn TraceSink>,
+}
+
+impl std::fmt::Debug for SinkHandle<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SinkHandle").field("on", &self.is_on()).finish()
+    }
+}
+
+impl<'a> SinkHandle<'a> {
+    /// Tracing disabled: every probe is a cheap not-taken branch.
+    #[must_use]
+    pub fn off() -> Self {
+        Self { inner: None }
+    }
+
+    /// Tracing enabled, events forwarded to `sink`.
+    pub fn on(sink: &'a mut dyn TraceSink) -> Self {
+        Self { inner: Some(sink) }
+    }
+
+    /// Whether a sink is attached (lets callers skip probe-only work
+    /// such as bookkeeping for miss-completion events).
+    #[must_use]
+    pub fn is_on(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emits the event built by `f` — but only if tracing is on. The
+    /// closure keeps event construction off the hot path entirely.
+    #[inline]
+    pub fn emit_with(&mut self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = self.inner.as_deref_mut() {
+            sink.emit(f());
+        }
+    }
+
+    /// Signals end-of-run to the attached sink, if any.
+    pub fn finish(&mut self) {
+        if let Some(sink) = self.inner.as_deref_mut() {
+            sink.finish();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent::QueueSample { cycle, depth: cycle as u32, mshr: 0 }
+    }
+
+    #[test]
+    fn ring_sink_evicts_oldest_first() {
+        let mut ring = RingSink::new(3);
+        for c in 0..5 {
+            ring.emit(ev(c));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let cycles: Vec<u64> = ring.events().map(TraceEvent::cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4], "must retain the most recent window in order");
+        let trace = ring.into_trace();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.events()[0].cycle(), 2);
+    }
+
+    #[test]
+    fn ring_sink_capacity_floor_is_one() {
+        let mut ring = RingSink::new(0);
+        ring.emit(ev(1));
+        ring.emit(ev(2));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.events().next().unwrap().cycle(), 2);
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_variant() {
+        use crate::accounting::CycleClass;
+        use crate::report::Pipe;
+        use crate::trace::FlushKind;
+        use ff_mem::MemLevel;
+        let events = vec![
+            TraceEvent::ADispatch { cycle: 1, seq: 2, pc: 3, deferred: true },
+            TraceEvent::BRetire { cycle: 4, seq: 2, pc: 3, was_deferred: true },
+            TraceEvent::Flush { cycle: 5, kind: FlushKind::StoreConflict, boundary_seq: 1 },
+            TraceEvent::ARedirect { cycle: 6, pc: 9 },
+            TraceEvent::GroupDispatch { cycle: 7, pipe: Pipe::A, head_seq: 10, len: 4 },
+            TraceEvent::ClassTransition {
+                cycle: 8,
+                from: CycleClass::Unstalled,
+                to: CycleClass::LoadStall,
+            },
+            TraceEvent::MissBegin {
+                cycle: 9,
+                pipe: Pipe::B,
+                level: MemLevel::Mem,
+                addr: 0xdead_beef,
+                fill_at: 161,
+            },
+            TraceEvent::MissEnd { cycle: 161, addr: 0xdead_beef, level: MemLevel::Mem },
+            TraceEvent::QueueSample { cycle: 10, depth: 7, mshr: 3 },
+            TraceEvent::RunaheadEnter { cycle: 11, pc: 40 },
+            TraceEvent::RunaheadExit { cycle: 12, pc: 40, discarded: 17 },
+        ];
+        let mut sink = JsonlSink::new(Vec::new());
+        for e in &events {
+            sink.emit(*e);
+        }
+        sink.finish();
+        assert_eq!(sink.written(), events.len() as u64);
+        assert!(!sink.errored());
+        let bytes = sink.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let parsed: Vec<TraceEvent> = text.lines().map(|l| parse_jsonl_line(l).unwrap()).collect();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn handle_off_never_builds_the_event() {
+        let mut built = false;
+        let mut h = SinkHandle::off();
+        h.emit_with(|| {
+            built = true;
+            ev(0)
+        });
+        assert!(!built);
+        assert!(!h.is_on());
+    }
+
+    #[test]
+    fn handle_on_forwards() {
+        let mut trace = Trace::new();
+        let mut h = SinkHandle::on(&mut trace);
+        assert!(h.is_on());
+        h.emit_with(|| ev(5));
+        h.finish();
+        assert_eq!(trace.len(), 1);
+    }
+}

@@ -1,11 +1,21 @@
 //! Pipeline event tracing.
 //!
-//! A [`Trace`] records the lifecycle of every dynamic instruction through
-//! the two-pass machine — A-pipe dispatch (executed or deferred), B-pipe
-//! retire, flushes, redirects — enough to reconstruct the paper's
-//! Figure 4 style execution snapshots. Tracing is opt-in
-//! ([`crate::TwoPass::run_traced`]) and costs nothing when off.
+//! [`TraceEvent`] is a model-agnostic pipeline event vocabulary shared
+//! by all four engines: instruction lifecycle (A-dispatch, B-retire),
+//! control (flushes, redirects), issue-group dispatch, per-cycle stall
+//! class transitions, cache-miss begin/end, coupling-queue/MSHR
+//! occupancy samples, and runahead episode boundaries — enough to
+//! reconstruct the paper's Figure 4 execution snapshots and the
+//! Figure 6 stall structure offline.
+//!
+//! Events flow into a [`crate::sink::TraceSink`]; [`Trace`] is the
+//! in-memory sink with analysis helpers. Tracing is opt-in
+//! (`run_traced` / `run_with_sink` on each model) and costs one
+//! branch-on-None per probe when off.
 
+use crate::accounting::CycleClass;
+use crate::report::Pipe;
+use ff_mem::MemLevel;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -16,6 +26,17 @@ pub enum FlushKind {
     BdetMispredict,
     /// An ALAT miss at merge (store conflict).
     StoreConflict,
+}
+
+impl FlushKind {
+    /// Short label used in trace rendering.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            FlushKind::BdetMispredict => "bdet-mispredict",
+            FlushKind::StoreConflict => "store-conflict",
+        }
+    }
 }
 
 /// One traced pipeline event.
@@ -59,6 +80,153 @@ pub enum TraceEvent {
         /// New fetch target.
         pc: usize,
     },
+    /// An issue group was dispatched by one pipe.
+    GroupDispatch {
+        /// Cycle of dispatch.
+        cycle: u64,
+        /// Which pipe dispatched (the baseline and runahead models use
+        /// [`Pipe::B`], their only pipe).
+        pipe: Pipe,
+        /// Sequence number of the group's first instruction.
+        head_seq: u64,
+        /// Number of instructions dispatched together.
+        len: u32,
+    },
+    /// The architectural pipe's cycle class changed.
+    ClassTransition {
+        /// First cycle charged to the new class.
+        cycle: u64,
+        /// Class of the preceding cycles (equals `to` on the first
+        /// transition of a run).
+        from: CycleClass,
+        /// Class charged from this cycle on.
+        to: CycleClass,
+    },
+    /// A demand access missed a cache level and booked a fill.
+    MissBegin {
+        /// Cycle the miss was initiated.
+        cycle: u64,
+        /// Pipe that initiated the access.
+        pipe: Pipe,
+        /// The level that serviced the miss (`L2` = hit in L2 after
+        /// missing L1, ... `Mem` = main memory).
+        level: MemLevel,
+        /// Accessed byte address.
+        addr: u64,
+        /// Cycle the fill completes.
+        fill_at: u64,
+    },
+    /// A previously booked fill completed.
+    MissEnd {
+        /// Completion cycle.
+        cycle: u64,
+        /// Accessed byte address of the originating miss.
+        addr: u64,
+        /// The level that serviced it.
+        level: MemLevel,
+    },
+    /// Per-cycle occupancy sample of bounded resources.
+    QueueSample {
+        /// Sampled cycle.
+        cycle: u64,
+        /// Coupling-queue depth (0 for models without one).
+        depth: u32,
+        /// Outstanding MSHR fills.
+        mshr: u32,
+    },
+    /// The runahead model entered a speculative episode.
+    RunaheadEnter {
+        /// Entry cycle.
+        cycle: u64,
+        /// PC of the stalled group (the resume point).
+        pc: usize,
+    },
+    /// The runahead model left a speculative episode.
+    RunaheadExit {
+        /// Exit cycle.
+        cycle: u64,
+        /// PC execution resumes at.
+        pc: usize,
+        /// Speculative instructions discarded by this episode.
+        discarded: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle the event was recorded at.
+    #[must_use]
+    pub const fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::ADispatch { cycle, .. }
+            | TraceEvent::BRetire { cycle, .. }
+            | TraceEvent::Flush { cycle, .. }
+            | TraceEvent::ARedirect { cycle, .. }
+            | TraceEvent::GroupDispatch { cycle, .. }
+            | TraceEvent::ClassTransition { cycle, .. }
+            | TraceEvent::MissBegin { cycle, .. }
+            | TraceEvent::MissEnd { cycle, .. }
+            | TraceEvent::QueueSample { cycle, .. }
+            | TraceEvent::RunaheadEnter { cycle, .. }
+            | TraceEvent::RunaheadExit { cycle, .. } => cycle,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    /// Compact single-line rendering: cycle first, fixed-width kind tag,
+    /// then event-specific fields.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>8}] ", self.cycle())?;
+        match *self {
+            TraceEvent::ADispatch { seq, pc, deferred, .. } => {
+                write!(
+                    f,
+                    "{:<12} seq={seq} pc={pc} {}",
+                    "A.dispatch",
+                    if deferred { "deferred" } else { "executed" }
+                )
+            }
+            TraceEvent::BRetire { seq, pc, was_deferred, .. } => {
+                write!(
+                    f,
+                    "{:<12} seq={seq} pc={pc} {}",
+                    "B.retire",
+                    if was_deferred { "b-executed" } else { "merged" }
+                )
+            }
+            TraceEvent::Flush { kind, boundary_seq, .. } => {
+                write!(f, "{:<12} {} boundary={boundary_seq}", "flush", kind.label())
+            }
+            TraceEvent::ARedirect { pc, .. } => {
+                write!(f, "{:<12} pc={pc}", "A.redirect")
+            }
+            TraceEvent::GroupDispatch { pipe, head_seq, len, .. } => {
+                write!(f, "{:<12} pipe={pipe} head={head_seq} len={len}", "group")
+            }
+            TraceEvent::ClassTransition { from, to, .. } => {
+                write!(f, "{:<12} {} -> {}", "class", from.label(), to.label())
+            }
+            TraceEvent::MissBegin { pipe, level, addr, fill_at, .. } => {
+                write!(
+                    f,
+                    "{:<12} pipe={pipe} {level:?} addr={addr:#x} fill={fill_at}",
+                    "miss.begin"
+                )
+            }
+            TraceEvent::MissEnd { addr, level, .. } => {
+                write!(f, "{:<12} {level:?} addr={addr:#x}", "miss.end")
+            }
+            TraceEvent::QueueSample { depth, mshr, .. } => {
+                write!(f, "{:<12} cq={depth} mshr={mshr}", "sample")
+            }
+            TraceEvent::RunaheadEnter { pc, .. } => {
+                write!(f, "{:<12} pc={pc}", "ra.enter")
+            }
+            TraceEvent::RunaheadExit { pc, discarded, .. } => {
+                write!(f, "{:<12} pc={pc} discarded={discarded}", "ra.exit")
+            }
+        }
+    }
 }
 
 /// An in-memory event log.
@@ -109,32 +277,50 @@ impl Trace {
             dispatch: Option<u64>,
             deferred: bool,
             retire: Option<u64>,
+            squashed: bool,
         }
         let mut rows: BTreeMap<u64, Row> = BTreeMap::new();
         for e in &self.events {
             match *e {
                 TraceEvent::ADispatch { cycle, seq, pc, deferred } if seq_range.contains(&seq) => {
+                    // Re-dispatch after a flush starts the row over.
                     let row = rows.entry(seq).or_default();
-                    // Re-dispatch after a flush overwrites the squashed try.
                     row.pc = pc;
                     row.dispatch = Some(cycle);
                     row.deferred = deferred;
                     row.retire = None;
+                    row.squashed = false;
                 }
-                TraceEvent::BRetire { cycle, seq, .. } if seq_range.contains(&seq) => {
-                    rows.entry(seq).or_default().retire = Some(cycle);
+                TraceEvent::BRetire { cycle, seq, pc, .. } if seq_range.contains(&seq) => {
+                    // A retire with no dispatch in range still identifies
+                    // the instruction: keep its pc rather than fabricating
+                    // a pc=0 "squashed" row.
+                    let row = rows.entry(seq).or_default();
+                    if row.dispatch.is_none() {
+                        row.pc = pc;
+                    }
+                    row.retire = Some(cycle);
+                    row.squashed = false;
+                }
+                TraceEvent::Flush { boundary_seq, .. } => {
+                    // The flush boundary is authoritative: younger rows
+                    // are squashed even if never re-dispatched.
+                    for (_, row) in rows.range_mut(boundary_seq + 1..) {
+                        row.retire = None;
+                        row.squashed = true;
+                    }
                 }
                 _ => {}
             }
         }
-        let mut out = String::from(
-            "  seq    pc  A-dispatch  mode      B-retire  in-queue\n",
-        );
+        let mut out = String::from("  seq    pc  A-dispatch  mode      B-retire  in-queue\n");
         for (seq, row) in rows {
             let mode = if row.deferred { "deferred" } else { "executed" };
             let (retire, dwell) = match (row.dispatch, row.retire) {
+                _ if row.squashed => ("squashed".to_string(), "-".to_string()),
                 (Some(d), Some(r)) => (r.to_string(), (r - d).to_string()),
-                _ => ("squashed".to_string(), "-".to_string()),
+                (None, Some(r)) => (r.to_string(), "-".to_string()),
+                (_, None) => ("squashed".to_string(), "-".to_string()),
             };
             out.push_str(&format!(
                 "{seq:>5} {:>5}  {:>10}  {mode:<8}  {retire:>8}  {dwell:>8}\n",
@@ -149,7 +335,7 @@ impl Trace {
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for e in &self.events {
-            writeln!(f, "{e:?}")?;
+            writeln!(f, "{e}")?;
         }
         Ok(())
     }
@@ -182,6 +368,37 @@ mod tests {
     }
 
     #[test]
+    fn flush_boundary_squashes_even_retired_younger_rows() {
+        // A row that "retired" speculatively but sits above the flush
+        // boundary must not be reported as committed.
+        let mut t = Trace::new();
+        t.push(TraceEvent::ADispatch { cycle: 1, seq: 6, pc: 3, deferred: false });
+        t.push(TraceEvent::BRetire { cycle: 2, seq: 6, pc: 3, was_deferred: false });
+        t.push(TraceEvent::Flush { cycle: 3, kind: FlushKind::StoreConflict, boundary_seq: 5 });
+        let text = t.timeline(0..10);
+        assert!(text.contains("squashed"), "{text}");
+        // Re-dispatch and retire after the flush clears the mark.
+        t.push(TraceEvent::ADispatch { cycle: 8, seq: 6, pc: 3, deferred: false });
+        t.push(TraceEvent::BRetire { cycle: 10, seq: 6, pc: 3, was_deferred: false });
+        let text = t.timeline(0..10);
+        assert!(!text.contains("squashed"), "{text}");
+        assert!(text.contains("10"), "{text}");
+    }
+
+    #[test]
+    fn retire_without_dispatch_keeps_its_pc() {
+        // Seen when the trace window opens mid-run: only the BRetire is
+        // in range. The row must carry the retire's pc, not pc=0, and
+        // must not claim to be squashed.
+        let mut t = Trace::new();
+        t.push(TraceEvent::BRetire { cycle: 40, seq: 7, pc: 23, was_deferred: false });
+        let text = t.timeline(0..10);
+        assert!(text.contains("23"), "{text}");
+        assert!(text.contains("40"), "{text}");
+        assert!(!text.contains("squashed"), "{text}");
+    }
+
+    #[test]
     fn range_filters_events() {
         let mut t = Trace::new();
         t.push(TraceEvent::ADispatch { cycle: 1, seq: 50, pc: 0, deferred: false });
@@ -189,5 +406,58 @@ mod tests {
         assert!(t.timeline(49..51).contains("50"));
         assert_eq!(t.len(), 1);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn display_is_cycle_first_single_line() {
+        let e = TraceEvent::ADispatch { cycle: 17, seq: 3, pc: 4, deferred: true };
+        let s = e.to_string();
+        assert!(s.starts_with("[      17]"), "{s}");
+        assert!(s.contains("A.dispatch") && s.contains("deferred"), "{s}");
+        assert!(!s.contains('\n'));
+
+        let e = TraceEvent::MissBegin {
+            cycle: 9,
+            pipe: Pipe::A,
+            level: MemLevel::L2,
+            addr: 0x1000,
+            fill_at: 14,
+        };
+        let s = e.to_string();
+        assert!(s.contains("miss.begin") && s.contains("0x1000") && s.contains("fill=14"), "{s}");
+
+        let mut t = Trace::new();
+        t.push(e);
+        assert!(t.to_string().contains("miss.begin"), "Trace Display must use the compact form");
+    }
+
+    #[test]
+    fn cycle_accessor_covers_every_variant() {
+        let events = [
+            TraceEvent::ADispatch { cycle: 1, seq: 0, pc: 0, deferred: false },
+            TraceEvent::BRetire { cycle: 2, seq: 0, pc: 0, was_deferred: false },
+            TraceEvent::Flush { cycle: 3, kind: FlushKind::StoreConflict, boundary_seq: 0 },
+            TraceEvent::ARedirect { cycle: 4, pc: 0 },
+            TraceEvent::GroupDispatch { cycle: 5, pipe: Pipe::B, head_seq: 0, len: 1 },
+            TraceEvent::ClassTransition {
+                cycle: 6,
+                from: CycleClass::Unstalled,
+                to: CycleClass::LoadStall,
+            },
+            TraceEvent::MissBegin {
+                cycle: 7,
+                pipe: Pipe::B,
+                level: MemLevel::Mem,
+                addr: 0,
+                fill_at: 152,
+            },
+            TraceEvent::MissEnd { cycle: 8, addr: 0, level: MemLevel::Mem },
+            TraceEvent::QueueSample { cycle: 9, depth: 0, mshr: 0 },
+            TraceEvent::RunaheadEnter { cycle: 10, pc: 0 },
+            TraceEvent::RunaheadExit { cycle: 11, pc: 0, discarded: 5 },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.cycle(), i as u64 + 1);
+        }
     }
 }

@@ -122,8 +122,7 @@ impl AFile {
         ready_at: u64,
         producer: ProducerKind,
     ) {
-        self.entries[reg.index()] =
-            AEntry { bits, v: true, s: true, dyn_id, ready_at, producer };
+        self.entries[reg.index()] = AEntry { bits, v: true, s: true, dyn_id, ready_at, producer };
     }
 
     /// Marks `reg` as the destination of a deferred instruction: V

@@ -31,6 +31,7 @@ use crate::config::{FeedbackLatency, MachineConfig};
 use crate::exec_common::{fitting_prefix, op_latency};
 use crate::frontend::{FetchedInsn, Frontend, FrontendConfig};
 use crate::report::{BranchStats, MemAccessStats, ModelKind, Pipe, SimReport, TwoPassStats};
+use crate::sink::{SinkHandle, TraceSink};
 use crate::trace::{FlushKind, Trace, TraceEvent};
 use afile::{AFile, ProducerKind, SourceState};
 use ff_isa::reg::TOTAL_REGS;
@@ -105,8 +106,9 @@ pub struct TwoPass<'p> {
     defer_window: std::collections::VecDeque<bool>,
     /// Whether the throttle currently holds the A-pipe.
     throttled: bool,
-    /// Optional event trace (None = zero-cost).
-    trace: Option<Trace>,
+    /// In-flight fills awaiting a `MissEnd` event, as `(fill_at, addr,
+    /// level)`. Populated only while a trace sink is attached.
+    pending_misses: Vec<(u64, u64, MemLevel)>,
     breakdown: CycleBreakdown,
     mem_stats: MemAccessStats,
     branches: BranchStats,
@@ -151,7 +153,7 @@ impl<'p> TwoPass<'p> {
             deferred_stores_in_cq: 0,
             defer_window: std::collections::VecDeque::new(),
             throttled: false,
-            trace: None,
+            pending_misses: Vec::new(),
             breakdown: CycleBreakdown::new(),
             mem_stats: MemAccessStats::default(),
             branches: BranchStats::default(),
@@ -176,13 +178,24 @@ impl<'p> TwoPass<'p> {
         self.run_with_state(max_instrs).0
     }
 
+    /// Runs with every pipeline event streamed into `sink` (see
+    /// [`crate::sink`] for bounded and streaming sinks).
+    #[must_use]
+    pub fn run_with_sink(mut self, max_instrs: u64, sink: &mut dyn TraceSink) -> SimReport {
+        let mut handle = SinkHandle::on(sink);
+        self.run_loop(max_instrs, &mut handle);
+        handle.finish();
+        self.into_report()
+    }
+
     /// Runs with event tracing enabled, returning the report and the
-    /// recorded [`Trace`] (A-dispatches, B-retires, flushes, redirects).
+    /// recorded in-memory [`Trace`].
     #[must_use]
     pub fn run_traced(mut self, max_instrs: u64) -> (SimReport, Trace) {
-        self.trace = Some(Trace::new());
-        self.run_loop(max_instrs);
-        let trace = self.trace.take().unwrap_or_default();
+        let mut trace = Trace::new();
+        let mut handle = SinkHandle::on(&mut trace);
+        self.run_loop(max_instrs, &mut handle);
+        handle.finish();
         (self.into_report(), trace)
     }
 
@@ -193,16 +206,17 @@ impl<'p> TwoPass<'p> {
         mut self,
         max_instrs: u64,
     ) -> (SimReport, [u64; TOTAL_REGS], MemoryImage) {
-        self.run_loop(max_instrs);
+        self.run_loop(max_instrs, &mut SinkHandle::off());
         let regs = self.b_regs;
         let mem = self.mem_img.clone();
         (self.into_report(), regs, mem)
     }
 
-    fn run_loop(&mut self, max_instrs: u64) {
+    fn run_loop(&mut self, max_instrs: u64, sink: &mut SinkHandle) {
         // A forward-progress guard: any livelock is a simulator bug and
         // must surface as a panic, not a hang.
         let cycle_cap = max_instrs.saturating_mul(500).max(1_000_000);
+        let mut last_class: Option<CycleClass> = None;
         while !self.halted && self.retired < max_instrs {
             assert!(
                 self.cycle < cycle_cap,
@@ -215,12 +229,32 @@ impl<'p> TwoPass<'p> {
             );
             self.frontend.tick(self.cycle);
             self.apply_feedback();
-            let class = self.b_step();
+            if sink.is_on() {
+                self.drain_pending_misses(sink);
+            }
+            let class = self.b_step(sink);
             if !self.halted {
-                self.a_step();
+                self.a_step(sink);
             }
             self.breakdown.charge(class);
             self.stats.queue_occupancy_sum += self.cq.len() as u64;
+            self.stats.queue_depth_hist.observe(self.cq.len() as u64);
+            if sink.is_on() {
+                if last_class != Some(class) {
+                    let from = last_class.unwrap_or(class);
+                    sink.emit_with(|| TraceEvent::ClassTransition {
+                        cycle: self.cycle,
+                        from,
+                        to: class,
+                    });
+                    last_class = Some(class);
+                }
+                sink.emit_with(|| TraceEvent::QueueSample {
+                    cycle: self.cycle,
+                    depth: self.cq.len() as u32,
+                    mshr: self.mshrs.outstanding(self.cycle) as u32,
+                });
+            }
             self.cycle += 1;
             if self.frontend.is_drained() && self.cq.is_empty() && !self.halted {
                 break; // defensive: no further progress possible
@@ -228,10 +262,24 @@ impl<'p> TwoPass<'p> {
         }
     }
 
+    /// Emits `MissEnd` for every booked fill that has completed.
+    fn drain_pending_misses(&mut self, sink: &mut SinkHandle) {
+        let now = self.cycle;
+        let mut i = 0;
+        while i < self.pending_misses.len() {
+            if self.pending_misses[i].0 <= now {
+                let (fill_at, addr, level) = self.pending_misses.swap_remove(i);
+                sink.emit_with(|| TraceEvent::MissEnd { cycle: fill_at, addr, level });
+            } else {
+                i += 1;
+            }
+        }
+    }
+
     fn into_report(mut self) -> SimReport {
         self.stats.store_buffer = self.store_buffer.stats();
         self.stats.alat = self.alat.stats();
-        SimReport {
+        let mut report = SimReport {
             model: if self.cfg.two_pass.regroup {
                 ModelKind::TwoPassRegroup
             } else {
@@ -245,7 +293,10 @@ impl<'p> TwoPass<'p> {
             hierarchy: *self.hier.stats(),
             mshr: self.mshrs.stats(),
             two_pass: Some(self.stats),
-        }
+            metrics: crate::metrics::MetricsSnapshot::default(),
+        };
+        report.collect_metrics();
+        report
     }
 
     // ---- feedback path --------------------------------------------------
@@ -347,7 +398,7 @@ impl<'p> TwoPass<'p> {
         None
     }
 
-    fn b_step(&mut self) -> CycleClass {
+    fn b_step(&mut self, sink: &mut SinkHandle) -> CycleClass {
         let glen = match self.cq.head_group_len(self.cycle) {
             Some(g) => g,
             // A group larger than the coupling queue can never present a
@@ -355,10 +406,7 @@ impl<'p> TwoPass<'p> {
             // unterminated group, consume it as a chunk (hardware would
             // issue an oversized group over multiple cycles anyway).
             None if self.cq.free() == 0
-                && self
-                    .cq
-                    .get(self.cq.len() - 1)
-                    .is_some_and(|e| e.enq_cycle < self.cycle) =>
+                && self.cq.get(self.cq.len() - 1).is_some_and(|e| e.enq_cycle < self.cycle) =>
             {
                 self.cq.len()
             }
@@ -386,10 +434,9 @@ impl<'p> TwoPass<'p> {
             issue_len = idx;
         }
 
-        let ops: Vec<Opcode> =
-            (0..issue_len).map(|i| self.cq.get(i).unwrap().insn.op).collect();
-        let mut bundle = fitting_prefix(ops.iter(), &self.cfg.fu_slots, self.cfg.issue_width)
-            .min(issue_len);
+        let ops: Vec<Opcode> = (0..issue_len).map(|i| self.cq.get(i).unwrap().insn.op).collect();
+        let mut bundle =
+            fitting_prefix(ops.iter(), &self.cfg.fu_slots, self.cfg.issue_width).min(issue_len);
 
         // Instruction regrouping (2Pre): remove the stop bit after the
         // head group when pre-execution has made the next group
@@ -400,8 +447,9 @@ impl<'p> TwoPass<'p> {
                 let cand = bundle + next_len;
                 let cand_ops: Vec<Opcode> =
                     (0..cand).map(|i| self.cq.get(i).unwrap().insn.op).collect();
-                let fits = fitting_prefix(cand_ops.iter(), &self.cfg.fu_slots, self.cfg.issue_width)
-                    >= cand;
+                let fits =
+                    fitting_prefix(cand_ops.iter(), &self.cfg.fu_slots, self.cfg.issue_width)
+                        >= cand;
                 // Any block — internal or external — vetoes the merge.
                 if fits && self.bundle_block(cand).is_none() {
                     bundle = cand;
@@ -410,35 +458,50 @@ impl<'p> TwoPass<'p> {
             }
         }
 
+        let head_seq = self.cq.get(0).map(|e| e.seq);
         let mut processed = 0;
         let mut flush: Option<FlushPlan> = None;
         for i in 0..bundle {
             let entry = *self.cq.get(i).expect("bundle in range");
             processed += 1;
-            let done = self.merge_entry(&entry, &mut flush);
+            let done = self.merge_entry(&entry, &mut flush, sink);
             if done || flush.is_some() {
                 break;
             }
         }
         self.cq.consume(processed);
+        if processed > 0 {
+            if let Some(head_seq) = head_seq {
+                sink.emit_with(|| TraceEvent::GroupDispatch {
+                    cycle: self.cycle,
+                    pipe: Pipe::B,
+                    head_seq,
+                    len: processed as u32,
+                });
+            }
+        }
         if let Some(plan) = flush {
-            self.do_flush(plan);
+            self.do_flush(plan, sink);
         }
         CycleClass::Unstalled
     }
 
     /// Retires one queue entry into architectural state. Returns `true`
     /// when the machine halted.
-    fn merge_entry(&mut self, entry: &CqEntry, flush: &mut Option<FlushPlan>) -> bool {
+    fn merge_entry(
+        &mut self,
+        entry: &CqEntry,
+        flush: &mut Option<FlushPlan>,
+        sink: &mut SinkHandle,
+    ) -> bool {
         self.retired += 1;
-        if let Some(tr) = &mut self.trace {
-            tr.push(TraceEvent::BRetire {
-                cycle: self.cycle,
-                seq: entry.seq,
-                pc: entry.pc,
-                was_deferred: entry.state.is_deferred(),
-            });
-        }
+        self.stats.slip_hist.observe(self.cycle.saturating_sub(entry.enq_cycle));
+        sink.emit_with(|| TraceEvent::BRetire {
+            cycle: self.cycle,
+            seq: entry.seq,
+            pc: entry.pc,
+            was_deferred: entry.state.is_deferred(),
+        });
         if entry.insn.op.is_fp() {
             self.stats.fp_retired += 1;
         }
@@ -453,7 +516,7 @@ impl<'p> TwoPass<'p> {
                 }
                 if let Some(li) = load {
                     if self.alat.check_and_remove(entry.seq) == AlatCheck::Conflict {
-                        self.store_conflict_flush(entry, li, flush);
+                        self.store_conflict_flush(entry, li, flush, sink);
                         return false;
                     }
                 }
@@ -472,7 +535,7 @@ impl<'p> TwoPass<'p> {
                 }
             }
             CqState::Deferred => {
-                return self.execute_deferred(entry, flush);
+                return self.execute_deferred(entry, flush, sink);
             }
         }
         false
@@ -491,7 +554,12 @@ impl<'p> TwoPass<'p> {
     }
 
     /// Executes a deferred entry in the B-pipe. Returns `true` on halt.
-    fn execute_deferred(&mut self, entry: &CqEntry, flush: &mut Option<FlushPlan>) -> bool {
+    fn execute_deferred(
+        &mut self,
+        entry: &CqEntry,
+        flush: &mut Option<FlushPlan>,
+        sink: &mut SinkHandle,
+    ) -> bool {
         match evaluate(&entry.insn, &self.b_regs) {
             Effect::Nullified | Effect::Nop => {}
             Effect::Write(writes) => {
@@ -507,7 +575,7 @@ impl<'p> TwoPass<'p> {
             Effect::Load { addr, size, signed, dest } => {
                 let raw = self.mem_img.read(addr, size);
                 let out = self.hier.load(addr);
-                let done = self.book_load(addr, out.level, out.latency);
+                let done = self.book_load(addr, out.level, out.latency, Pipe::B, sink);
                 self.mem_stats.record_load(Pipe::B, out.level, out.latency);
                 let idx = dest.index();
                 self.b_regs[idx] = load_write(raw, size, signed);
@@ -556,6 +624,7 @@ impl<'p> TwoPass<'p> {
         entry: &CqEntry,
         li: LoadInfo,
         flush: &mut Option<FlushPlan>,
+        sink: &mut SinkHandle,
     ) {
         self.stats.store_conflict_flushes += 1;
         if li.risky {
@@ -565,7 +634,7 @@ impl<'p> TwoPass<'p> {
         if let Effect::Load { addr, size, signed, dest } = evaluate(&entry.insn, &self.b_regs) {
             let raw = self.mem_img.read(addr, size);
             let out = self.hier.load(addr);
-            let done = self.book_load(addr, out.level, out.latency);
+            let done = self.book_load(addr, out.level, out.latency, Pipe::B, sink);
             self.mem_stats.record_load(Pipe::B, out.level, out.latency);
             let idx = dest.index();
             self.b_regs[idx] = load_write(raw, size, signed);
@@ -581,36 +650,34 @@ impl<'p> TwoPass<'p> {
         });
     }
 
-    fn do_flush(&mut self, plan: FlushPlan) {
-        if let Some(tr) = &mut self.trace {
-            tr.push(TraceEvent::Flush {
-                cycle: self.cycle,
-                kind: plan.kind,
-                boundary_seq: plan.boundary_seq,
-            });
-        }
+    fn do_flush(&mut self, plan: FlushPlan, sink: &mut SinkHandle) {
+        sink.emit_with(|| TraceEvent::Flush {
+            cycle: self.cycle,
+            kind: plan.kind,
+            boundary_seq: plan.boundary_seq,
+        });
         let _ = self.cq.flush_younger_than(plan.boundary_seq);
         self.frontend.redirect(plan.redirect_pc, self.cycle + plan.penalty);
-        let _ = self.afile.repair_from(
-            &self.b_regs,
-            &self.b_ready,
-            &self.b_pending_load,
-            self.cycle,
-        );
+        let _ =
+            self.afile.repair_from(&self.b_regs, &self.b_ready, &self.b_pending_load, self.cycle);
         self.store_buffer.flush_younger_than(plan.boundary_seq);
         self.alat.flush_younger_than(plan.boundary_seq);
         self.feedback.retain(|m| m.seq <= plan.boundary_seq);
         self.a_halted = false;
         self.throttled = false;
         self.defer_window.clear();
-        self.deferred_stores_in_cq = self
-            .cq
-            .iter()
-            .filter(|e| e.state.is_deferred() && e.insn.op.is_store())
-            .count();
+        self.deferred_stores_in_cq =
+            self.cq.iter().filter(|e| e.state.is_deferred() && e.insn.op.is_store()).count();
     }
 
-    fn book_load(&mut self, addr: u64, level: MemLevel, latency: u64) -> u64 {
+    fn book_load(
+        &mut self,
+        addr: u64,
+        level: MemLevel,
+        latency: u64,
+        pipe: Pipe,
+        sink: &mut SinkHandle,
+    ) -> u64 {
         let done = self.cycle + latency;
         let line = self.cfg.hierarchy.l2.line_of(addr);
         if level == MemLevel::L1 {
@@ -621,7 +688,18 @@ impl<'p> TwoPass<'p> {
                 None => done,
             };
         }
-        self.mshrs.request(self.cycle, line, done).unwrap_or(done).max(done)
+        let fill_at = self.mshrs.request(self.cycle, line, done).unwrap_or(done).max(done);
+        if sink.is_on() {
+            sink.emit_with(|| TraceEvent::MissBegin {
+                cycle: self.cycle,
+                pipe,
+                level,
+                addr,
+                fill_at,
+            });
+            self.pending_misses.push((fill_at, addr, level));
+        }
+        fill_at
     }
 
     // ---- A-pipe ---------------------------------------------------------
@@ -681,7 +759,7 @@ impl<'p> TwoPass<'p> {
         }
     }
 
-    fn a_step(&mut self) {
+    fn a_step(&mut self, sink: &mut SinkHandle) {
         if self.a_halted {
             return;
         }
@@ -692,8 +770,7 @@ impl<'p> TwoPass<'p> {
             return;
         };
         let ops: Vec<Opcode> = (0..glen).map(|i| self.frontend.peek(i).insn.op).collect();
-        let mut n =
-            fitting_prefix(ops.iter(), &self.cfg.fu_slots, self.cfg.issue_width).min(glen);
+        let mut n = fitting_prefix(ops.iter(), &self.cfg.fu_slots, self.cfg.issue_width).min(glen);
 
         // Dispatch only as much as the coupling queue can hold; pushing
         // nothing when the group doesn't fit whole would deadlock against
@@ -721,6 +798,7 @@ impl<'p> TwoPass<'p> {
             }
         }
 
+        let head_seq = self.frontend.peek(0).seq;
         let mut processed = 0;
         let mut redirect: Option<(usize, u64)> = None;
         for i in 0..n {
@@ -731,7 +809,7 @@ impl<'p> TwoPass<'p> {
             let (state, stop) = if self.must_defer(&f) {
                 (CqState::Deferred, false)
             } else {
-                self.a_execute(&f, &mut redirect)
+                self.a_execute(&f, &mut redirect, sink)
             };
 
             self.note_dispatch(state.is_deferred());
@@ -751,14 +829,12 @@ impl<'p> TwoPass<'p> {
                 self.stats.executed_in_a += 1;
             }
 
-            if let Some(tr) = &mut self.trace {
-                tr.push(TraceEvent::ADispatch {
-                    cycle: self.cycle,
-                    seq: f.seq,
-                    pc: f.pc,
-                    deferred: state.is_deferred(),
-                });
-            }
+            sink.emit_with(|| TraceEvent::ADispatch {
+                cycle: self.cycle,
+                seq: f.seq,
+                pc: f.pc,
+                deferred: state.is_deferred(),
+            });
             self.cq.push(CqEntry {
                 seq: f.seq,
                 pc: f.pc,
@@ -778,10 +854,16 @@ impl<'p> TwoPass<'p> {
             }
         }
         self.frontend.consume(processed);
+        if processed > 0 {
+            sink.emit_with(|| TraceEvent::GroupDispatch {
+                cycle: self.cycle,
+                pipe: Pipe::A,
+                head_seq,
+                len: processed as u32,
+            });
+        }
         if let Some((pc, at)) = redirect {
-            if let Some(tr) = &mut self.trace {
-                tr.push(TraceEvent::ARedirect { cycle: self.cycle, pc });
-            }
+            sink.emit_with(|| TraceEvent::ARedirect { cycle: self.cycle, pc });
             self.frontend.redirect(pc, at);
         }
     }
@@ -794,6 +876,7 @@ impl<'p> TwoPass<'p> {
         &mut self,
         f: &FetchedInsn,
         redirect: &mut Option<(usize, u64)>,
+        sink: &mut SinkHandle,
     ) -> (CqState, bool) {
         let now = self.cycle;
         match evaluate(&f.insn, &self.afile) {
@@ -809,14 +892,14 @@ impl<'p> TwoPass<'p> {
                 }
                 (CqState::executed(writes, now + lat, false), false)
             }
-            Effect::Load { addr, size, signed, dest } => self.a_load(f, addr, size, signed, dest),
+            Effect::Load { addr, size, signed, dest } => {
+                self.a_load(f, addr, size, signed, dest, sink)
+            }
             Effect::Store { addr, size, bits } => {
                 if self.store_buffer.is_full() {
                     return (CqState::Deferred, false);
                 }
-                self.store_buffer
-                    .insert(f.seq, addr, size, bits)
-                    .expect("checked capacity");
+                self.store_buffer.insert(f.seq, addr, size, bits).expect("checked capacity");
                 (
                     CqState::Executed {
                         writes: Writes::default(),
@@ -865,28 +948,28 @@ impl<'p> TwoPass<'p> {
         size: u64,
         signed: bool,
         dest: RegId,
+        sink: &mut SinkHandle,
     ) -> (CqState, bool) {
         let now = self.cycle;
         let risky = self.deferred_stores_in_cq > 0;
 
-        let (bits, ready_at, level, latency) =
-            match self.store_buffer.forward(f.seq, addr, size) {
-                ForwardResult::Partial => return (CqState::Deferred, false),
-                ForwardResult::Forwarded(raw) => {
-                    // Store-buffer bypass at L1 speed.
-                    let lat = self.cfg.hierarchy.l1_latency;
-                    (load_write(raw, size, signed), now + lat, MemLevel::L1, lat)
+        let (bits, ready_at, level, latency) = match self.store_buffer.forward(f.seq, addr, size) {
+            ForwardResult::Partial => return (CqState::Deferred, false),
+            ForwardResult::Forwarded(raw) => {
+                // Store-buffer bypass at L1 speed.
+                let lat = self.cfg.hierarchy.l1_latency;
+                (load_write(raw, size, signed), now + lat, MemLevel::L1, lat)
+            }
+            ForwardResult::NoConflict => {
+                if !self.mshrs.has_room(now) && self.hier.probe(addr) != MemLevel::L1 {
+                    return (CqState::Deferred, false);
                 }
-                ForwardResult::NoConflict => {
-                    if !self.mshrs.has_room(now) && self.hier.probe(addr) != MemLevel::L1 {
-                        return (CqState::Deferred, false);
-                    }
-                    let raw = self.mem_img.read(addr, size);
-                    let out = self.hier.load(addr);
-                    let done = self.book_load(addr, out.level, out.latency);
-                    (load_write(raw, size, signed), done, out.level, out.latency)
-                }
-            };
+                let raw = self.mem_img.read(addr, size);
+                let out = self.hier.load(addr);
+                let done = self.book_load(addr, out.level, out.latency, Pipe::A, sink);
+                (load_write(raw, size, signed), done, out.level, out.latency)
+            }
+        };
 
         self.mem_stats.record_load(Pipe::A, level, latency);
         self.alat.allocate(f.seq, addr, size);

@@ -39,13 +39,8 @@ fn assert_matches_interpreter(program: &Program, mem: &MemoryImage, config: Mach
     let sim = TwoPass::new(program, mem.clone(), config);
     let (report, regs, sim_mem) = sim.run_with_state(10_000_000);
     assert_eq!(report.retired, interp.instr_count(), "retired count mismatch");
-    for i in 0..TOTAL_REGS {
-        assert_eq!(
-            regs[i],
-            interp.reg_bits()[i],
-            "register {} mismatch",
-            RegId::from_index(i)
-        );
+    for (i, &have) in regs.iter().enumerate() {
+        assert_eq!(have, interp.reg_bits()[i], "register {} mismatch", RegId::from_index(i));
     }
     assert_eq!(&sim_mem, interp.mem(), "memory mismatch");
     assert_eq!(report.breakdown.total(), report.cycles, "cycle accounting must sum");
@@ -156,8 +151,8 @@ fn matches_interpreter_on_store_conflict() {
     // r4 must hold the stored value (1234), not the stale 999.
     assert_eq!(regs[RegId::Int(r(4)).index()], 1234);
     assert_eq!(regs[RegId::Int(r(5)).index()], 1241);
-    for i in 0..TOTAL_REGS {
-        assert_eq!(regs[i], interp.reg_bits()[i], "reg {}", RegId::from_index(i));
+    for (i, &have) in regs.iter().enumerate() {
+        assert_eq!(have, interp.reg_bits()[i], "reg {}", RegId::from_index(i));
     }
 }
 
@@ -533,8 +528,7 @@ fn throttle_limits_queue_occupancy() {
     });
     let throttled = TwoPass::new(&program, mem, t_cfg).run(1_000_000);
     let p_occ = plain.two_pass.unwrap().queue_occupancy_sum as f64 / plain.cycles as f64;
-    let t_occ =
-        throttled.two_pass.unwrap().queue_occupancy_sum as f64 / throttled.cycles as f64;
+    let t_occ = throttled.two_pass.unwrap().queue_occupancy_sum as f64 / throttled.cycles as f64;
     assert!(
         t_occ < p_occ,
         "throttling should shrink average queue occupancy: {t_occ:.1} vs {p_occ:.1}"
@@ -566,4 +560,69 @@ fn traced_and_untraced_runs_are_cycle_identical() {
     assert_eq!(plain.cycles, traced.cycles, "tracing must not perturb timing");
     assert_eq!(plain.retired, traced.retired);
     assert!(trace.len() as u64 >= 2 * traced.retired, "dispatch+retire per instruction");
+}
+
+#[test]
+fn class_transitions_reconstruct_the_cycle_breakdown() {
+    use crate::trace::TraceEvent;
+    // A real kernel with misses and branches exercises several classes.
+    let (program, mem) = chase(32, 4096);
+    let (report, trace) = TwoPass::new(&program, mem, cfg()).run_traced(100_000);
+
+    // Replay the transitions: each one charges its `to` class from its
+    // cycle until the next transition (or the end of the run).
+    let transitions: Vec<(u64, CycleClass)> = trace
+        .events()
+        .iter()
+        .filter_map(|e| match *e {
+            TraceEvent::ClassTransition { cycle, to, .. } => Some((cycle, to)),
+            _ => None,
+        })
+        .collect();
+    assert!(transitions.len() > 1, "a chase must switch classes at least once");
+    assert_eq!(transitions[0].0, 0, "the first transition opens at cycle 0");
+    let mut rebuilt = CycleBreakdown::new();
+    for (i, &(cycle, class)) in transitions.iter().enumerate() {
+        let end = transitions.get(i + 1).map_or(report.cycles, |&(c, _)| c);
+        rebuilt.charge_n(class, end - cycle);
+    }
+    assert_eq!(rebuilt, report.breakdown, "transitions must tile the whole run");
+}
+
+#[test]
+fn slip_and_queue_depth_histograms_are_consistent() {
+    let (program, mem) = stream(32, 4096);
+    let report = TwoPass::new(&program, mem, cfg()).run(100_000);
+    let tp = report.two_pass.unwrap();
+    // One slip sample per retired instruction.
+    assert_eq!(tp.slip_hist.count(), report.retired);
+    // One queue-depth sample per cycle, and the exact per-cycle sum is
+    // shared with the legacy occupancy counter.
+    assert_eq!(tp.queue_depth_hist.count(), report.cycles);
+    assert_eq!(tp.queue_depth_hist.sum(), tp.queue_occupancy_sum);
+    // The uniform metrics namespace carries both.
+    assert_eq!(report.metrics.histogram("two_pass.slip").unwrap().count(), report.retired);
+    assert_eq!(report.metrics.counter("sim.cycles"), Some(report.cycles));
+}
+
+#[test]
+fn ring_and_jsonl_sinks_capture_a_real_run() {
+    use crate::sink::{parse_jsonl_line, JsonlSink, RingSink};
+    let (program, mem) = stream(16, 4096);
+    let mut ring = RingSink::new(64);
+    let report = TwoPass::new(&program, mem.clone(), cfg()).run_with_sink(10_000, &mut ring);
+    assert!(report.retired > 0);
+    assert_eq!(ring.len(), 64, "a real run overflows a small ring");
+    assert!(ring.dropped() > 0);
+
+    let mut jsonl = JsonlSink::new(Vec::new());
+    let report2 = TwoPass::new(&program, mem, cfg()).run_with_sink(10_000, &mut jsonl);
+    assert_eq!(report2.cycles, report.cycles, "sink choice must not affect timing");
+    let written = jsonl.written();
+    let bytes = jsonl.into_inner().unwrap();
+    let text = String::from_utf8(bytes).unwrap();
+    assert_eq!(text.lines().count() as u64, written);
+    for line in text.lines() {
+        parse_jsonl_line(line).expect("every emitted line parses back");
+    }
 }

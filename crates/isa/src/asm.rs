@@ -141,12 +141,10 @@ pub fn parse_program(text: &str) -> Result<Program, ParseAsmError> {
     let mut b = ProgramBuilder::new();
     let mut labels: HashMap<String, Label> = HashMap::new();
     // Branches that used symbolic targets: fixed up through the builder.
-    let get_label = |b: &mut ProgramBuilder,
-                         labels: &mut HashMap<String, Label>,
-                         name: &str|
-     -> Label {
-        *labels.entry(name.to_string()).or_insert_with(|| b.new_label())
-    };
+    let get_label =
+        |b: &mut ProgramBuilder, labels: &mut HashMap<String, Label>, name: &str| -> Label {
+            *labels.entry(name.to_string()).or_insert_with(|| b.new_label())
+        };
     for (lineno, raw) in text.lines().enumerate() {
         let line = lineno + 1;
         let code = raw.split("//").next().unwrap_or("").split('#').next().unwrap_or("");
@@ -185,9 +183,8 @@ pub fn parse_program(text: &str) -> Result<Program, ParseAsmError> {
         // Qualifying predicate.
         let mut qp = None;
         if let Some(tail) = rest.strip_prefix('(') {
-            let close = tail
-                .find(')')
-                .ok_or_else(|| err(line, "unterminated qualifying predicate"))?;
+            let close =
+                tail.find(')').ok_or_else(|| err(line, "unterminated qualifying predicate"))?;
             qp = Some(parse_pred_reg(tail[..close].trim(), line)?);
             rest = tail[close + 1..].trim();
         }
@@ -517,7 +514,7 @@ mod tests {
         // Strip the `pc:` prefixes Display adds.
         let reparsed_src: String = printed
             .lines()
-            .map(|l| l.splitn(2, ':').nth(1).unwrap_or(""))
+            .map(|l| l.split_once(':').map_or("", |x| x.1))
             .collect::<Vec<_>>()
             .join("\n");
         let reparsed = parse_program(&reparsed_src).expect("round-trips");
@@ -545,10 +542,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let program = parse_program(
-            "# leading comment\n\n   // another\nnop ;; // trailing\nhalt",
-        )
-        .expect("parses");
+        let program = parse_program("# leading comment\n\n   // another\nnop ;; // trailing\nhalt")
+            .expect("parses");
         assert_eq!(program.len(), 2);
     }
 

@@ -169,8 +169,7 @@ impl ProgramBuilder {
     /// the finished sequence fails [`Program`] validation.
     pub fn build(mut self) -> Result<Program, BuildProgramError> {
         for &(pc, label) in &self.fixups {
-            let target =
-                self.labels[label.0].ok_or(BuildProgramError::UnboundLabel(label))?;
+            let target = self.labels[label.0].ok_or(BuildProgramError::UnboundLabel(label))?;
             if let Opcode::Br { target: ref mut t } = self.instrs[pc].op {
                 *t = target;
             }
@@ -246,12 +245,26 @@ impl ProgramBuilder {
     }
 
     /// `pt, pf = cmp.kind(a, b)`
-    pub fn cmp(&mut self, kind: CmpKind, pt: PredReg, pf: PredReg, a: IntReg, b: IntReg) -> &mut Self {
+    pub fn cmp(
+        &mut self,
+        kind: CmpKind,
+        pt: PredReg,
+        pf: PredReg,
+        a: IntReg,
+        b: IntReg,
+    ) -> &mut Self {
         self.push(Opcode::Cmp { kind, pt, pf, a, b })
     }
 
     /// `pt, pf = cmp.kind(a, imm)`
-    pub fn cmpi(&mut self, kind: CmpKind, pt: PredReg, pf: PredReg, a: IntReg, imm: i64) -> &mut Self {
+    pub fn cmpi(
+        &mut self,
+        kind: CmpKind,
+        pt: PredReg,
+        pf: PredReg,
+        a: IntReg,
+        imm: i64,
+    ) -> &mut Self {
         self.push(Opcode::CmpI { kind, pt, pf, a, imm })
     }
 
@@ -336,7 +349,14 @@ impl ProgramBuilder {
     }
 
     /// `pt, pf = fcmp.kind(a, b)`
-    pub fn fcmp(&mut self, kind: CmpKind, pt: PredReg, pf: PredReg, a: FpReg, b: FpReg) -> &mut Self {
+    pub fn fcmp(
+        &mut self,
+        kind: CmpKind,
+        pt: PredReg,
+        pf: PredReg,
+        a: FpReg,
+        b: FpReg,
+    ) -> &mut Self {
         self.push(Opcode::FCmp { kind, pt, pf, a, b })
     }
 

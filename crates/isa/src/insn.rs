@@ -99,12 +99,9 @@ mod tests {
 
     #[test]
     fn sources_include_qualifying_predicate() {
-        let insn = Instruction::new(Opcode::Add {
-            d: IntReg::n(1),
-            a: IntReg::n(2),
-            b: IntReg::n(3),
-        })
-        .predicated(PredReg::n(5));
+        let insn =
+            Instruction::new(Opcode::Add { d: IntReg::n(1), a: IntReg::n(2), b: IntReg::n(3) })
+                .predicated(PredReg::n(5));
         assert!(insn.sources().contains(RegId::Pred(PredReg::n(5))));
         assert_eq!(insn.sources().len(), 3);
     }
@@ -114,12 +111,9 @@ mod tests {
         // A cmp reading p5 as qp while also being guarded by p5 can't
         // happen for int ops (preds aren't int sources), but duplicate
         // sources can: add r1 = r2, r2.
-        let insn = Instruction::new(Opcode::Add {
-            d: IntReg::n(1),
-            a: IntReg::n(2),
-            b: IntReg::n(2),
-        })
-        .predicated(PredReg::n(3));
+        let insn =
+            Instruction::new(Opcode::Add { d: IntReg::n(1), a: IntReg::n(2), b: IntReg::n(2) })
+                .predicated(PredReg::n(3));
         // r2 appears twice from the op walk; qp dedup only guards the qp
         // insertion path, so expect 3 entries: r2, r2, p3.
         assert_eq!(insn.sources().len(), 3);
@@ -127,9 +121,7 @@ mod tests {
 
     #[test]
     fn display_shows_predicate_and_stop() {
-        let insn = Instruction::new(Opcode::Br { target: 4 })
-            .predicated(PredReg::n(1))
-            .with_stop();
+        let insn = Instruction::new(Opcode::Br { target: 4 }).predicated(PredReg::n(1)).with_stop();
         assert_eq!(insn.to_string(), "(p1) br 4 ;;");
     }
 

@@ -223,8 +223,14 @@ mod tests {
             .with_stop(),
             Instruction::new(Opcode::Add { d: r(3), a: r(3), b: r(6) }),
             Instruction::new(Opcode::AddI { d: r(2), a: r(2), imm: 1 }).with_stop(),
-            Instruction::new(Opcode::CmpI { kind: CmpKind::Lt, pt: p(1), pf: p(2), a: r(2), imm: 4 })
-                .with_stop(),
+            Instruction::new(Opcode::CmpI {
+                kind: CmpKind::Lt,
+                pt: p(1),
+                pf: p(2),
+                a: r(2),
+                imm: 4,
+            })
+            .with_stop(),
             Instruction::new(Opcode::Br { target: 3 }).predicated(p(1)).with_stop(),
             Instruction::new(Opcode::Halt),
         ]);

@@ -55,10 +55,8 @@ impl MemoryImage {
 
     /// Writes a single byte, allocating the containing page if needed.
     pub fn write_u8(&mut self, addr: u64, value: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        let page =
+            self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
         page[(addr & PAGE_MASK) as usize] = value;
     }
 

@@ -190,38 +190,15 @@ pub enum Opcode {
     /// `d = imm`
     MovI { d: IntReg, imm: i64 },
     /// `pt = cmp(a, b); pf = !cmp(a, b)`
-    Cmp {
-        kind: CmpKind,
-        pt: PredReg,
-        pf: PredReg,
-        a: IntReg,
-        b: IntReg,
-    },
+    Cmp { kind: CmpKind, pt: PredReg, pf: PredReg, a: IntReg, b: IntReg },
     /// `pt = cmp(a, imm); pf = !cmp(a, imm)`
-    CmpI {
-        kind: CmpKind,
-        pt: PredReg,
-        pf: PredReg,
-        a: IntReg,
-        imm: i64,
-    },
+    CmpI { kind: CmpKind, pt: PredReg, pf: PredReg, a: IntReg, imm: i64 },
 
     // ---- memory ------------------------------------------------------
     /// `d = mem[a + off]` (zero- or sign-extended to 64 bits)
-    Ld {
-        d: IntReg,
-        base: IntReg,
-        off: i64,
-        size: MemSize,
-        signed: bool,
-    },
+    Ld { d: IntReg, base: IntReg, off: i64, size: MemSize, signed: bool },
     /// `mem[base + off] = src` (low `size` bytes)
-    St {
-        src: IntReg,
-        base: IntReg,
-        off: i64,
-        size: MemSize,
-    },
+    St { src: IntReg, base: IntReg, off: i64, size: MemSize },
     /// `d = mem[base + off]` as an 8-byte IEEE-754 double
     LdF { d: FpReg, base: IntReg, off: i64 },
     /// `mem[base + off] = src` as an 8-byte IEEE-754 double
@@ -245,13 +222,7 @@ pub enum Opcode {
     /// `d = (i64) a` — FP-to-integer convert (truncating)
     FCvtI { d: IntReg, a: FpReg },
     /// `pt = cmp(a, b); pf = !cmp(a, b)` on FP operands
-    FCmp {
-        kind: CmpKind,
-        pt: PredReg,
-        pf: PredReg,
-        a: FpReg,
-        b: FpReg,
-    },
+    FCmp { kind: CmpKind, pt: PredReg, pf: PredReg, a: FpReg, b: FpReg },
 
     // ---- control ------------------------------------------------------
     /// Branch to the issue group starting at instruction index `target`.
@@ -341,13 +312,23 @@ impl Opcode {
         use Opcode::*;
         let mut l = RegList::default();
         match *self {
-            Add { a, b, .. } | Sub { a, b, .. } | And { a, b, .. } | Or { a, b, .. }
-            | Xor { a, b, .. } | Shl { a, b, .. } | Shr { a, b, .. } | Mul { a, b, .. } => {
+            Add { a, b, .. }
+            | Sub { a, b, .. }
+            | And { a, b, .. }
+            | Or { a, b, .. }
+            | Xor { a, b, .. }
+            | Shl { a, b, .. }
+            | Shr { a, b, .. }
+            | Mul { a, b, .. } => {
                 l.push(a);
                 l.push(b);
             }
-            AddI { a, .. } | AndI { a, .. } | XorI { a, .. } | ShlI { a, .. }
-            | ShrI { a, .. } | Mov { a, .. } => l.push(a),
+            AddI { a, .. }
+            | AndI { a, .. }
+            | XorI { a, .. }
+            | ShlI { a, .. }
+            | ShrI { a, .. }
+            | Mov { a, .. } => l.push(a),
             MovI { .. } | FMovI { .. } | Br { .. } | Halt | Nop => {}
             Cmp { a, b, .. } => {
                 l.push(a);
@@ -384,16 +365,35 @@ impl Opcode {
         use Opcode::*;
         let mut l = RegList::default();
         match *self {
-            Add { d, .. } | AddI { d, .. } | Sub { d, .. } | And { d, .. } | AndI { d, .. }
-            | Or { d, .. } | Xor { d, .. } | XorI { d, .. } | Shl { d, .. } | ShlI { d, .. }
-            | Shr { d, .. } | ShrI { d, .. } | Mul { d, .. } | Mov { d, .. } | MovI { d, .. }
-            | Ld { d, .. } | FCvtI { d, .. } => l.push(d),
+            Add { d, .. }
+            | AddI { d, .. }
+            | Sub { d, .. }
+            | And { d, .. }
+            | AndI { d, .. }
+            | Or { d, .. }
+            | Xor { d, .. }
+            | XorI { d, .. }
+            | Shl { d, .. }
+            | ShlI { d, .. }
+            | Shr { d, .. }
+            | ShrI { d, .. }
+            | Mul { d, .. }
+            | Mov { d, .. }
+            | MovI { d, .. }
+            | Ld { d, .. }
+            | FCvtI { d, .. } => l.push(d),
             Cmp { pt, pf, .. } | CmpI { pt, pf, .. } | FCmp { pt, pf, .. } => {
                 l.push(pt);
                 l.push(pf);
             }
-            LdF { d, .. } | FAdd { d, .. } | FSub { d, .. } | FMul { d, .. } | FDiv { d, .. }
-            | FMov { d, .. } | FMovI { d, .. } | ICvtF { d, .. } => l.push(d),
+            LdF { d, .. }
+            | FAdd { d, .. }
+            | FSub { d, .. }
+            | FMul { d, .. }
+            | FDiv { d, .. }
+            | FMov { d, .. }
+            | FMovI { d, .. }
+            | ICvtF { d, .. } => l.push(d),
             St { .. } | StF { .. } | Br { .. } | Halt | Nop => {}
         }
         l
@@ -405,8 +405,15 @@ impl Opcode {
         use Opcode::*;
         match self {
             Ld { .. } | St { .. } | LdF { .. } | StF { .. } => FuClass::Mem,
-            FAdd { .. } | FSub { .. } | FMul { .. } | FDiv { .. } | FMov { .. }
-            | FMovI { .. } | ICvtF { .. } | FCvtI { .. } | FCmp { .. } => FuClass::Fp,
+            FAdd { .. }
+            | FSub { .. }
+            | FMul { .. }
+            | FDiv { .. }
+            | FMov { .. }
+            | FMovI { .. }
+            | ICvtF { .. }
+            | FCvtI { .. }
+            | FCmp { .. } => FuClass::Fp,
             Br { .. } | Halt => FuClass::Branch,
             _ => FuClass::Alu,
         }
@@ -418,8 +425,14 @@ impl Opcode {
         use Opcode::*;
         match self {
             Mul { .. } => LatencyClass::Mul,
-            FAdd { .. } | FSub { .. } | FMul { .. } | FMov { .. } | FMovI { .. }
-            | ICvtF { .. } | FCvtI { .. } | FCmp { .. } => LatencyClass::FpArith,
+            FAdd { .. }
+            | FSub { .. }
+            | FMul { .. }
+            | FMov { .. }
+            | FMovI { .. }
+            | ICvtF { .. }
+            | FCvtI { .. }
+            | FCmp { .. } => LatencyClass::FpArith,
             FDiv { .. } => LatencyClass::FpDiv,
             Ld { .. } | LdF { .. } => LatencyClass::Load,
             St { .. } | StF { .. } => LatencyClass::Store,
@@ -605,10 +618,7 @@ mod tests {
             LatencyClass::FpDiv
         );
         assert_eq!(Opcode::Br { target: 0 }.fu_class(), FuClass::Branch);
-        assert_eq!(
-            Opcode::Mul { d: r(1), a: r(1), b: r(1) }.latency_class(),
-            LatencyClass::Mul
-        );
+        assert_eq!(Opcode::Mul { d: r(1), a: r(1), b: r(1) }.latency_class(), LatencyClass::Mul);
         assert_eq!(
             Opcode::Ld { d: r(1), base: r(2), off: 0, size: MemSize::B8, signed: false }
                 .latency_class(),

@@ -159,10 +159,7 @@ impl Program {
 
     /// The instruction indices that start each issue group, in order.
     pub fn group_start_pcs(&self) -> impl Iterator<Item = usize> + '_ {
-        self.group_starts
-            .iter()
-            .enumerate()
-            .filter_map(|(pc, &s)| s.then_some(pc))
+        self.group_starts.iter().enumerate().filter_map(|(pc, &s)| s.then_some(pc))
     }
 
     /// Number of static issue groups.
@@ -255,10 +252,11 @@ mod tests {
         let err = Program::new(vec![Instruction::new(Opcode::Nop)]).unwrap_err();
         assert_eq!(err, ValidateProgramError::MissingTerminator);
         // A conditional branch can fall through, so it does not terminate.
-        let err = Program::new(vec![
-            Instruction::new(Opcode::Br { target: 0 }).predicated(PredReg::n(1)),
-        ])
-        .unwrap_err();
+        let err =
+            Program::new(
+                vec![Instruction::new(Opcode::Br { target: 0 }).predicated(PredReg::n(1))],
+            )
+            .unwrap_err();
         assert_eq!(err, ValidateProgramError::MissingTerminator);
         // An unconditional branch does.
         assert!(Program::new(vec![Instruction::new(Opcode::Br { target: 0 })]).is_ok());
@@ -266,11 +264,9 @@ mod tests {
 
     #[test]
     fn branch_target_bounds_checked() {
-        let err = Program::new(vec![
-            Instruction::new(Opcode::Br { target: 9 }).with_stop(),
-            halt(),
-        ])
-        .unwrap_err();
+        let err =
+            Program::new(vec![Instruction::new(Opcode::Br { target: 9 }).with_stop(), halt()])
+                .unwrap_err();
         assert_eq!(err, ValidateProgramError::TargetOutOfRange { pc: 0, target: 9 });
     }
 
@@ -320,15 +316,11 @@ mod tests {
         // RAW within a group.
         let p = Program::new(vec![
             Instruction::new(Opcode::MovI { d: IntReg::n(1), imm: 1 }),
-            Instruction::new(Opcode::AddI { d: IntReg::n(2), a: IntReg::n(1), imm: 1 })
-                .with_stop(),
+            Instruction::new(Opcode::AddI { d: IntReg::n(2), a: IntReg::n(1), imm: 1 }).with_stop(),
             halt(),
         ])
         .unwrap();
-        assert_eq!(
-            check_group_hazards(&p),
-            Err(GroupHazard { writer_pc: 0, reader_pc: 1 })
-        );
+        assert_eq!(check_group_hazards(&p), Err(GroupHazard { writer_pc: 0, reader_pc: 1 }));
 
         // WAW within a group.
         let p = Program::new(vec![
@@ -342,8 +334,7 @@ mod tests {
         // Across groups is fine.
         let p = Program::new(vec![
             Instruction::new(Opcode::MovI { d: IntReg::n(1), imm: 1 }).with_stop(),
-            Instruction::new(Opcode::AddI { d: IntReg::n(2), a: IntReg::n(1), imm: 1 })
-                .with_stop(),
+            Instruction::new(Opcode::AddI { d: IntReg::n(2), a: IntReg::n(1), imm: 1 }).with_stop(),
             halt(),
         ])
         .unwrap();

@@ -33,11 +33,7 @@ pub struct InvalidRegError {
 
 impl fmt::Display for InvalidRegError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "register index {} out of range (must be < {})",
-            self.index, REGS_PER_FILE
-        )
+        write!(f, "register index {} out of range (must be < {})", self.index, REGS_PER_FILE)
     }
 }
 

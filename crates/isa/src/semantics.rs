@@ -183,7 +183,7 @@ pub fn load_write(raw: u64, size: u64, signed: bool) -> u64 {
 pub fn evaluate<R: RegRead + ?Sized>(insn: &Instruction, regs: &R) -> Effect {
     use Opcode::*;
 
-    let qp_true = insn.qp.map_or(true, |p| regs.read_pred(p));
+    let qp_true = insn.qp.is_none_or(|p| regs.read_pred(p));
     if !qp_true {
         // A nullified branch is still a branch to the front end: it simply
         // falls through, which we report as an untaken branch so the
@@ -303,10 +303,7 @@ mod tests {
     #[test]
     fn nullified_instruction_has_no_effect() {
         let rf = regs(); // p4 == 0
-        let e = evaluate(
-            &Instruction::new(Opcode::MovI { d: r(1), imm: 9 }).predicated(p(4)),
-            &rf,
-        );
+        let e = evaluate(&Instruction::new(Opcode::MovI { d: r(1), imm: 9 }).predicated(p(4)), &rf);
         assert_eq!(e, Effect::Nullified);
     }
 
@@ -359,10 +356,7 @@ mod tests {
             }),
             &rf,
         );
-        assert_eq!(
-            e,
-            Effect::Load { addr: 0x0FF0, size: 4, signed: true, dest: RegId::Int(r(1)) }
-        );
+        assert_eq!(e, Effect::Load { addr: 0x0FF0, size: 4, signed: true, dest: RegId::Int(r(1)) });
     }
 
     #[test]

@@ -65,7 +65,7 @@ impl CacheGeometry {
         {
             return Err(GeometryError::Malformed);
         }
-        if self.size_bytes % (self.ways * self.line_bytes) != 0 {
+        if !self.size_bytes.is_multiple_of(self.ways * self.line_bytes) {
             return Err(GeometryError::NotDivisible);
         }
         Ok(())
@@ -154,9 +154,7 @@ impl Cache {
     #[must_use]
     pub fn probe(&self, addr: u64) -> bool {
         let (base, tag) = self.set_range(addr);
-        self.sets[base..base + self.geometry.ways as usize]
-            .iter()
-            .any(|w| w.valid && w.tag == tag)
+        self.sets[base..base + self.geometry.ways as usize].iter().any(|w| w.valid && w.tag == tag)
     }
 
     /// Accesses `addr`, filling on miss, touching LRU, updating stats.
@@ -176,16 +174,13 @@ impl Cache {
         self.misses += 1;
 
         // Choose victim: first invalid way, else least-recently-used.
-        let victim = ways
-            .iter()
-            .position(|w| !w.valid)
-            .unwrap_or_else(|| {
-                ways.iter()
-                    .enumerate()
-                    .min_by_key(|(_, w)| w.lru)
-                    .map(|(i, _)| i)
-                    .expect("nonzero ways")
-            });
+        let victim = ways.iter().position(|w| !w.valid).unwrap_or_else(|| {
+            ways.iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.lru)
+                .map(|(i, _)| i)
+                .expect("nonzero ways")
+        });
         let w = &mut ways[victim];
         let writeback = (w.valid && w.dirty).then(|| {
             let sets = self.geometry.sets();

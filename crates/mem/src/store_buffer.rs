@@ -144,7 +144,7 @@ impl StoreBuffer {
             return Err(StoreBufferFullError);
         }
         debug_assert!(
-            self.entries.last().map_or(true, |e| e.seq < seq),
+            self.entries.last().is_none_or(|e| e.seq < seq),
             "stores must be inserted in ascending dynamic order"
         );
         self.entries.push(BufferedStore { seq, addr, size, bits });

@@ -135,6 +135,6 @@ mod tests {
 
     #[test]
     fn four_streams_overflow_l3() {
-        assert!(4 * STREAM_WORDS * 8 > 1536 * 1024);
+        const { assert!(4 * STREAM_WORDS * 8 > 1536 * 1024) }
     }
 }

@@ -29,7 +29,7 @@ pub fn twolf_like(iters: u64) -> Workload {
     let mut b = ProgramBuilder::new();
     b.movi(base, GRID_BASE as i64);
     b.movi(cnt, 0);
-    b.movi(state, 0x3_00_7_00_1F_5EEDu64 as i64);
+    b.movi(state, 0x3007_001F_5EED_u64 as i64);
     b.movi(gain, 0);
     b.movi(param, PARAM_ADDR as i64);
     b.stop();

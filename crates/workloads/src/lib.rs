@@ -104,9 +104,7 @@ pub fn paper_benchmarks(scale: Scale) -> Vec<Workload> {
 /// SPEC reference (e.g. `"181.mcf"`).
 #[must_use]
 pub fn benchmark_by_name(name: &str, scale: Scale) -> Option<Workload> {
-    paper_benchmarks(scale)
-        .into_iter()
-        .find(|w| w.name == name || w.spec_ref == name)
+    paper_benchmarks(scale).into_iter().find(|w| w.name == name || w.spec_ref == name)
 }
 
 #[cfg(test)]

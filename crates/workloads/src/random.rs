@@ -135,10 +135,7 @@ impl Gen {
     fn emit_pointer(&mut self) -> IntReg {
         let src = self.r();
         self.emit(Opcode::AndI { d: IntReg::n(TMP), a: src, imm: ARENA_MASK }, None);
-        self.emit(
-            Opcode::Add { d: IntReg::n(PTR), a: IntReg::n(BASE), b: IntReg::n(TMP) },
-            None,
-        );
+        self.emit(Opcode::Add { d: IntReg::n(PTR), a: IntReg::n(BASE), b: IntReg::n(TMP) }, None);
         IntReg::n(PTR)
     }
 
@@ -152,13 +149,7 @@ impl Gen {
                     let d = self.r();
                     let off = 8 * self.rng.gen_range(0..4i64);
                     self.emit(
-                        Opcode::Ld {
-                            d,
-                            base: ptr,
-                            off,
-                            size: ff_isa::MemSize::B8,
-                            signed: false,
-                        },
+                        Opcode::Ld { d, base: ptr, off, size: ff_isa::MemSize::B8, signed: false },
                         None,
                     );
                 }
@@ -166,10 +157,7 @@ impl Gen {
                     let ptr = self.emit_pointer();
                     let src = self.r();
                     let off = 8 * self.rng.gen_range(0..4i64);
-                    self.emit(
-                        Opcode::St { src, base: ptr, off, size: ff_isa::MemSize::B8 },
-                        None,
-                    );
+                    self.emit(Opcode::St { src, base: ptr, off, size: ff_isa::MemSize::B8 }, None);
                 }
                 // Compares establish predicates...
                 3 => {
@@ -282,8 +270,7 @@ mod tests {
         let cfg = GeneratorConfig::default();
         for seed in 0..50 {
             let (program, mem) = random_program(seed, &cfg);
-            check_group_hazards(&program)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{program}"));
+            check_group_hazards(&program).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{program}"));
             let mut interp = ArchState::new(&program, mem);
             interp.run(2_000_000);
             assert!(interp.is_halted(), "seed {seed} did not halt");

@@ -21,7 +21,10 @@ fn main() {
     let (report, trace) = TwoPass::new(&w.program, w.memory.clone(), MachineConfig::paper_table1())
         .run_traced(w.budget);
 
-    println!("mcf-like on the two-pass machine: {} cycles, {} retired\n", report.cycles, report.retired);
+    println!(
+        "mcf-like on the two-pass machine: {} cycles, {} retired\n",
+        report.cycles, report.retired
+    );
     println!("program (one loop iteration starts at the `ld8 r10 = ...` group):\n");
     for (pc, insn) in w.program.iter().enumerate().take(20) {
         println!("  {pc:>3}: {insn}");

@@ -7,17 +7,12 @@ use fleaflicker::workloads::random::{random_program, GeneratorConfig};
 use proptest::prelude::*;
 
 fn strip_pc_prefixes(printed: &str) -> String {
-    printed
-        .lines()
-        .map(|l| l.splitn(2, ':').nth(1).unwrap_or(""))
-        .collect::<Vec<_>>()
-        .join("\n")
+    printed.lines().map(|l| l.split_once(':').map_or("", |x| x.1)).collect::<Vec<_>>().join("\n")
 }
 
 fn check_roundtrip(program: &Program) {
     let text = strip_pc_prefixes(&program.to_string());
-    let reparsed = parse_program(&text)
-        .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+    let reparsed = parse_program(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
     assert_eq!(program, &reparsed, "round-trip mismatch");
 }
 

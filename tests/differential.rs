@@ -27,13 +27,8 @@ fn assert_state_eq(
     want: &([u64; TOTAL_REGS], MemoryImage, u64),
 ) {
     assert_eq!(retired, want.2, "{label} seed {seed}: retired count");
-    for i in 0..TOTAL_REGS {
-        assert_eq!(
-            regs[i],
-            want.0[i],
-            "{label} seed {seed}: register {}",
-            RegId::from_index(i)
-        );
+    for (i, (&have, &wanted)) in regs.iter().zip(want.0.iter()).enumerate() {
+        assert_eq!(have, wanted, "{label} seed {seed}: register {}", RegId::from_index(i));
     }
     assert_eq!(mem, &want.1, "{label} seed {seed}: memory");
 }
@@ -44,8 +39,7 @@ fn check_seed(seed: u64) {
     let want = golden(&program, &mem);
 
     let cfg = MachineConfig::paper_table1();
-    let (r, regs, m) =
-        Baseline::new(&program, mem.clone(), cfg.clone()).run_with_state(BUDGET);
+    let (r, regs, m) = Baseline::new(&program, mem.clone(), cfg.clone()).run_with_state(BUDGET);
     assert_eq!(r.breakdown.total(), r.cycles, "baseline accounting seed {seed}");
     assert_state_eq("baseline", seed, &regs, &m, r.retired, &want);
 

@@ -72,15 +72,10 @@ fn stream_vs_chase_reproduces_the_pipe_split() {
         "stream loads pre-execute: {:?}",
         s.mem
     );
-    assert!(
-        c.mem.loads_in(Pipe::B) > c.mem.loads_in(Pipe::A),
-        "chase loads defer: {:?}",
-        c.mem
-    );
+    assert!(c.mem.loads_in(Pipe::B) > c.mem.loads_in(Pipe::A), "chase loads defer: {:?}", c.mem);
 
     // And the stream benefits from two-pass while the chase cannot.
-    let sb = Baseline::new(&stream.program, stream.memory.clone(), cfg.clone())
-        .run(stream.budget);
+    let sb = Baseline::new(&stream.program, stream.memory.clone(), cfg.clone()).run(stream.budget);
     let cb = Baseline::new(&chase.program, chase.memory.clone(), cfg).run(chase.budget);
     assert!(s.cycles < sb.cycles, "stream wins: {} vs {}", s.cycles, sb.cycles);
     assert!(
