@@ -1,16 +1,20 @@
 //! §4 stall-on-anticipable-FP ablation: the remedy the paper suggests
 //! for 175.vpr's wholesale FP-chain deferral.
 
-use ff_bench::{experiments, fmt, parse_args};
+use ff_bench::experiments::{self, FP_STALL_BENCHMARKS};
+use ff_bench::fmt;
+use ff_bench::sweep::{run_sweep, SweepOpts};
 
 fn main() {
-    let (scale, json) = parse_args();
-    let rows = experiments::fp_stall_ablation(scale, &["vpr-like", "equake-like"]);
-    if json {
+    let opts = SweepOpts::from_env();
+    let cells = experiments::fp_stall_cells(opts.scale, &FP_STALL_BENCHMARKS);
+    let run = run_sweep("ablate_fp_stall", &opts, cells);
+    let rows = run.into_rows();
+    if opts.json {
         println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
         return;
     }
-    println!("Stall-on-anticipable-FP policy ablation ({scale:?} scale)\n");
+    println!("Stall-on-anticipable-FP policy ablation ({} scale)\n", opts.scale.label());
     fmt::header(&[
         ("benchmark", 14),
         ("defer-cyc", 10),

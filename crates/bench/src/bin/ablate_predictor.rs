@@ -3,14 +3,19 @@
 //! per late-resolved misprediction (B-DET), so better prediction helps
 //! it disproportionately on branchy code.
 
-use ff_bench::{fmt, parse_args};
-use ff_core::{Baseline, MachineConfig, TwoPass};
-use ff_predict::PredictorConfig;
-use ff_workloads::benchmark_by_name;
+use ff_bench::experiments;
+use ff_bench::fmt;
+use ff_bench::sweep::{run_sweep, SweepOpts};
 
 fn main() {
-    let (scale, _json) = parse_args();
-    println!("Branch-predictor ablation ({scale:?} scale)\n");
+    let opts = SweepOpts::from_env();
+    let run = run_sweep("ablate_predictor", &opts, experiments::predictor_cells(opts.scale));
+    let rows = run.into_rows();
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+        return;
+    }
+    println!("Branch-predictor ablation ({} scale)\n", opts.scale.label());
     fmt::header(&[
         ("benchmark", 14),
         ("predictor", 22),
@@ -19,30 +24,20 @@ fn main() {
         ("2P-norm", 8),
         ("mispred%", 9),
     ]);
-    let predictors: [(&str, PredictorConfig); 5] = [
-        ("static-NT", PredictorConfig::StaticNotTaken),
-        ("bimodal-1k", PredictorConfig::Bimodal { bits: 10 }),
-        ("gshare-1k (paper)", PredictorConfig::paper_table1()),
-        ("local-1k", PredictorConfig::Local { bits: 10, history_bits: 10 }),
-        ("tournament-1k", PredictorConfig::Tournament { bits: 10 }),
-    ];
-    for name in ["099.go", "300.twolf", "181.mcf"] {
-        let w = benchmark_by_name(name, scale).expect("built-in benchmark");
-        for (label, pred) in predictors {
-            let mut cfg = MachineConfig::paper_table1();
-            cfg.predictor = pred;
-            let base = Baseline::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget);
-            let tp = TwoPass::new(&w.program, w.memory.clone(), cfg).run(w.budget);
-            println!(
-                "{:>14}  {:>22}  {:>10}  {:>10}  {:>8}  {:>9}",
-                w.name,
-                label,
-                base.cycles,
-                tp.cycles,
-                fmt::ratio(tp.cycles as f64 / base.cycles as f64),
-                fmt::pct(tp.branches.mispredict_rate()),
-            );
+    let mut last_benchmark = String::new();
+    for r in &rows {
+        if !last_benchmark.is_empty() && last_benchmark != r.benchmark {
+            println!();
         }
-        println!();
+        last_benchmark.clone_from(&r.benchmark);
+        println!(
+            "{:>14}  {:>22}  {:>10}  {:>10}  {:>8}  {:>9}",
+            r.benchmark,
+            r.predictor,
+            r.base_cycles,
+            r.two_pass_cycles,
+            fmt::ratio(r.normalized),
+            fmt::pct(r.mispredict_rate),
+        );
     }
 }

@@ -1,17 +1,21 @@
 //! §3.1 coupling-queue size ablation: "the results were not particularly
 //! sensitive to reasonable variations in this parameter" around 64.
 
-use ff_bench::{experiments, fmt, parse_args};
+use ff_bench::experiments::{self, QUEUE_SWEEP_BENCHMARKS};
+use ff_bench::fmt;
+use ff_bench::sweep::{run_sweep, SweepOpts};
 
 fn main() {
-    let (scale, json) = parse_args();
-    let rows =
-        experiments::queue_sweep(scale, &["mcf-like", "compress-like", "equake-like", "li-like"]);
-    if json {
+    let opts = SweepOpts::from_env();
+    let cells = experiments::queue_sweep_cells(opts.scale, &QUEUE_SWEEP_BENCHMARKS);
+    let run = run_sweep("ablate_queue", &opts, cells);
+    let mut rows = run.into_rows();
+    experiments::queue_sweep_finalize(&mut rows);
+    if opts.json {
         println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
         return;
     }
-    println!("Coupling-queue size sweep ({scale:?} scale)\n");
+    println!("Coupling-queue size sweep ({} scale)\n", opts.scale.label());
     println!("(compress/equake/li vary smoothly around 64, as the paper reports; mcf-like");
     println!(
         " shows a deterministic phase effect of queue-full backpressure — see EXPERIMENTS.md)\n"

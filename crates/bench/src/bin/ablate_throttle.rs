@@ -1,13 +1,19 @@
 //! §3.5 future-work ablation: A-pipe issue moderation under heavy
 //! deferral ("a matter for future investigation" in the paper).
 
-use ff_bench::{fmt, parse_args};
-use ff_core::{MachineConfig, ThrottleConfig, TwoPass};
-use ff_workloads::paper_benchmarks;
+use ff_bench::experiments;
+use ff_bench::fmt;
+use ff_bench::sweep::{run_sweep, SweepOpts};
 
 fn main() {
-    let (scale, json) = parse_args();
-    println!("A-pipe deferral throttle ablation ({scale:?} scale)\n");
+    let opts = SweepOpts::from_env();
+    let run = run_sweep("ablate_throttle", &opts, experiments::throttle_cells(opts.scale));
+    let rows = run.into_rows();
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+        return;
+    }
+    println!("A-pipe deferral throttle ablation ({} scale)\n", opts.scale.label());
     fmt::header(&[
         ("benchmark", 14),
         ("plain-cyc", 10),
@@ -17,35 +23,16 @@ fn main() {
         ("avg-occ", 8),
         ("occ'", 8),
     ]);
-    let mut rows = Vec::new();
-    for w in paper_benchmarks(scale) {
-        let plain_cfg = MachineConfig::paper_table1();
-        let mut t_cfg = plain_cfg.clone();
-        t_cfg.two_pass.throttle =
-            Some(ThrottleConfig { window: 32, defer_threshold: 0.5, resume_occupancy: 8 });
-        let plain = TwoPass::new(&w.program, w.memory.clone(), plain_cfg).run(w.budget);
-        let thr = TwoPass::new(&w.program, w.memory.clone(), t_cfg).run(w.budget);
-        let ps = plain.two_pass.expect("stats");
-        let ts = thr.two_pass.expect("stats");
-        let row = serde_json::json!({
-            "benchmark": w.name,
-            "plain_cycles": plain.cycles,
-            "throttled_cycles_total": thr.cycles,
-            "throttle_engaged_cycles": ts.throttled_cycles,
-        });
-        rows.push(row);
+    for r in &rows {
         println!(
             "{:>14}  {:>10}  {:>10}  {:>7}  {:>12}  {:>8.1}  {:>8.1}",
-            w.name,
-            plain.cycles,
-            thr.cycles,
-            fmt::ratio(thr.cycles as f64 / plain.cycles as f64),
-            ts.throttled_cycles,
-            ps.queue_occupancy_sum as f64 / plain.cycles as f64,
-            ts.queue_occupancy_sum as f64 / thr.cycles as f64,
+            r.benchmark,
+            r.plain_cycles,
+            r.throttled_cycles,
+            fmt::ratio(r.normalized),
+            r.throttle_engaged_cycles,
+            r.plain_avg_occupancy,
+            r.throttled_avg_occupancy,
         );
-    }
-    if json {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("rows"));
     }
 }

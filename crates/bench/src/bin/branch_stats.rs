@@ -2,16 +2,18 @@
 //! mispredictions discovered and repaired in the A-pipe, 68% in the
 //! B-pipe.
 
-use ff_bench::{experiments, fmt, parse_args};
+use ff_bench::sweep::{run_sweep, SweepOpts};
+use ff_bench::{experiments, fmt};
 
 fn main() {
-    let (scale, json) = parse_args();
-    let rows = experiments::branch_stats(scale);
-    if json {
+    let opts = SweepOpts::from_env();
+    let run = run_sweep("branch_stats", &opts, experiments::branch_stats_cells(opts.scale));
+    let rows = run.into_rows();
+    if opts.json {
         println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
         return;
     }
-    println!("Branch misprediction split on the two-pass machine ({scale:?} scale)\n");
+    println!("Branch misprediction split on the two-pass machine ({} scale)\n", opts.scale.label());
     fmt::header(&[
         ("benchmark", 14),
         ("branches", 9),

@@ -2,16 +2,18 @@
 //! initiated past a deferred store are conflict-free, and only 1.6% of
 //! stores are deferred and eventually cause a conflict flush.
 
-use ff_bench::{experiments, fmt, parse_args};
+use ff_bench::sweep::{run_sweep, SweepOpts};
+use ff_bench::{experiments, fmt};
 
 fn main() {
-    let (scale, json) = parse_args();
-    let rows = experiments::conflict_stats(scale);
-    if json {
+    let opts = SweepOpts::from_env();
+    let run = run_sweep("conflict_stats", &opts, experiments::conflict_stats_cells(opts.scale));
+    let rows = run.into_rows();
+    if opts.json {
         println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
         return;
     }
-    println!("Store-conflict exposure on the two-pass machine ({scale:?} scale)\n");
+    println!("Store-conflict exposure on the two-pass machine ({} scale)\n", opts.scale.label());
     fmt::header(&[
         ("benchmark", 14),
         ("risky-lds", 10),

@@ -1,16 +1,19 @@
 //! Figure 6: normalized execution cycles (base / 2P / 2Pre) with the
 //! six-class cycle breakdown, for all ten benchmarks.
 
-use ff_bench::{experiments, fmt, parse_args};
+use ff_bench::sweep::{run_sweep, SweepOpts};
+use ff_bench::{experiments, fmt};
 
 fn main() {
-    let (scale, json) = parse_args();
-    let rows = experiments::fig6(scale);
-    if json {
+    let opts = SweepOpts::from_env();
+    let run = run_sweep("fig6", &opts, experiments::fig6_cells(opts.scale));
+    let mut rows = run.into_rows();
+    experiments::fig6_finalize(&mut rows);
+    if opts.json {
         println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
         return;
     }
-    println!("Figure 6 — normalized execution cycles ({scale:?} scale)\n");
+    println!("Figure 6 — normalized execution cycles ({} scale)\n", opts.scale.label());
     fmt::header(&[
         ("benchmark", 14),
         ("model", 5),
@@ -43,18 +46,19 @@ fn main() {
     }
     // Paper headline: 2Pre averages 1.08x over 2P; mcf-like sees a large
     // overall cycle reduction.
-    let mut tp_sum = 0.0;
-    let mut re_sum = 0.0;
-    let mut n = 0.0;
-    for chunk in rows.chunks(3) {
-        tp_sum += chunk[1].normalized;
-        re_sum += chunk[2].normalized;
-        n += 1.0;
+    let mean = |model: &str| {
+        let xs: Vec<f64> = rows.iter().filter(|r| r.model == model).map(|r| r.normalized).collect();
+        if xs.is_empty() {
+            f64::NAN
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    };
+    let (tp, re) = (mean("2P"), mean("2Pre"));
+    if tp.is_finite() && re.is_finite() {
+        println!(
+            "mean normalized cycles: 2P={tp:.3}  2Pre={re:.3}  (2Pre speedup over 2P: {:.3}x)",
+            tp / re
+        );
     }
-    println!(
-        "mean normalized cycles: 2P={:.3}  2Pre={:.3}  (2Pre speedup over 2P: {:.3}x)",
-        tp_sum / n,
-        re_sum / n,
-        tp_sum / re_sum
-    );
 }

@@ -1,16 +1,21 @@
 //! Figure 7: distribution of initiated access cycles by pipe (A/B) and
 //! servicing cache level, scaled by effective latency.
 
-use ff_bench::{experiments, parse_args};
+use ff_bench::experiments;
+use ff_bench::sweep::{run_sweep, SweepOpts};
 
 fn main() {
-    let (scale, json) = parse_args();
-    let rows = experiments::fig7(scale);
-    if json {
+    let opts = SweepOpts::from_env();
+    let run = run_sweep("fig7", &opts, experiments::fig7_cells(opts.scale));
+    let rows = run.into_rows();
+    if opts.json {
         println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
         return;
     }
-    println!("Figure 7 — initiated access cycles by pipe and level ({scale:?} scale)\n");
+    println!(
+        "Figure 7 — initiated access cycles by pipe and level ({} scale)\n",
+        opts.scale.label()
+    );
     println!(
         "{:>14} {:>5} | {:>9} {:>9} {:>9} {:>10} | {:>9} {:>9} {:>9} {:>10} | {:>6}",
         "benchmark",

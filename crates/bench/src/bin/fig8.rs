@@ -2,16 +2,19 @@
 //! deferral counts and runtime, swept over {1, 2, 4, 8, inf} cycles for
 //! three benchmarks.
 
-use ff_bench::{experiments, fmt, parse_args};
+use ff_bench::sweep::{run_sweep, SweepOpts};
+use ff_bench::{experiments, fmt};
 
 fn main() {
-    let (scale, json) = parse_args();
-    let rows = experiments::fig8(scale);
-    if json {
+    let opts = SweepOpts::from_env();
+    let run = run_sweep("fig8", &opts, experiments::fig8_cells(opts.scale));
+    let mut rows = run.into_rows();
+    experiments::fig8_finalize(&mut rows);
+    if opts.json {
         println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
         return;
     }
-    println!("Figure 8 — B→A feedback latency sweep ({scale:?} scale)\n");
+    println!("Figure 8 — B→A feedback latency sweep ({} scale)\n", opts.scale.label());
     fmt::header(&[
         ("benchmark", 14),
         ("latency", 8),
@@ -34,5 +37,7 @@ fn main() {
             println!();
         }
     }
-    println!("(paper: tolerant of moderate latency, especially up to ~4 cycles; 'inf' inflates deferral)");
+    println!(
+        "(paper: tolerant of moderate latency, especially up to ~4 cycles; 'inf' inflates deferral)"
+    );
 }

@@ -1,16 +1,18 @@
 //! §2 comparison: idealized checkpoint runahead vs two-pass pipelining.
 //! Runahead discards its pre-executed work; two-pass keeps it.
 
-use ff_bench::{experiments, fmt, parse_args};
+use ff_bench::sweep::{run_sweep, SweepOpts};
+use ff_bench::{experiments, fmt};
 
 fn main() {
-    let (scale, json) = parse_args();
-    let rows = experiments::runahead_compare(scale);
-    if json {
+    let opts = SweepOpts::from_env();
+    let run = run_sweep("runahead_compare", &opts, experiments::runahead_compare_cells(opts.scale));
+    let rows = run.into_rows();
+    if opts.json {
         println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
         return;
     }
-    println!("Runahead vs two-pass ({scale:?} scale)\n");
+    println!("Runahead vs two-pass ({} scale)\n", opts.scale.label());
     fmt::header(&[
         ("benchmark", 14),
         ("base", 10),

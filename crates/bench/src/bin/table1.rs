@@ -1,10 +1,16 @@
 //! Table 1: the experimental machine configuration.
+//!
+//! Static (no simulation runs), but accepts the common sweep flags so the
+//! whole `fig*`/`table*`/`ablate_*` family shares one CLI; `--json` emits
+//! the key/value pairs as a JSON object.
 
+use ff_bench::sweep::SweepOpts;
 use ff_core::MachineConfig;
+use serde_json::Value;
 
 fn main() {
+    let opts = SweepOpts::from_env();
     let c = MachineConfig::paper_table1();
-    println!("Table 1 — experimental machine configuration\n");
     let rows: Vec<(&str, String)> = vec![
         (
             "Functional Units",
@@ -53,6 +59,13 @@ fn main() {
         ("B-DET redirect penalty", format!("{} cycles", c.bdet_penalty())),
         ("B->A feedback latency", format!("{:?}", c.two_pass.feedback_latency)),
     ];
+    if opts.json {
+        let obj =
+            Value::Object(rows.into_iter().map(|(k, v)| (k.to_string(), Value::Str(v))).collect());
+        println!("{}", serde_json::to_string_pretty(&obj).expect("serializable table"));
+        return;
+    }
+    println!("Table 1 — experimental machine configuration\n");
     for (k, v) in rows {
         println!("{k:<26} {v}");
     }

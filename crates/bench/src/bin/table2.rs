@@ -1,24 +1,27 @@
 //! Table 2: benchmarks, inputs (synthetic kernels here), and dynamic
 //! instruction counts.
 
-use ff_bench::parse_args;
-use ff_isa::ArchState;
-use ff_workloads::paper_benchmarks;
+use ff_bench::experiments;
+use ff_bench::sweep::{run_sweep, SweepOpts};
 
 fn main() {
-    let (scale, _) = parse_args();
-    println!("Table 2 — benchmarks and dynamic instruction counts ({scale:?} scale)\n");
+    let opts = SweepOpts::from_env();
+    let run = run_sweep("table2", &opts, experiments::table2_cells(opts.scale));
+    let rows = run.into_rows();
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+        return;
+    }
+    println!(
+        "Table 2 — benchmarks and dynamic instruction counts ({} scale)\n",
+        opts.scale.label()
+    );
     println!("{:<14} {:<12} {:>13}  Synthetic input", "Benchmark", "Stands for", "Instructions");
     println!("{}", "-".repeat(100));
-    for w in paper_benchmarks(scale) {
-        let mut interp = ArchState::new(&w.program, w.memory.clone());
-        interp.run(w.budget);
+    for r in &rows {
         println!(
             "{:<14} {:<12} {:>13}  {}",
-            w.spec_ref,
-            w.name,
-            interp.instr_count(),
-            w.description
+            r.spec_ref, r.benchmark, r.instructions, r.description
         );
     }
 }

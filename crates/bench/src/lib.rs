@@ -13,39 +13,23 @@
 //! | `cargo run -p ff-bench --bin conflict_stats` | §4 — store-conflict rates for risky loads |
 //! | `cargo run -p ff-bench --bin ablate_queue` | §3.1 — coupling-queue size sensitivity |
 //! | `cargo run -p ff-bench --bin ablate_fp_stall` | §4 — stall-on-anticipable-FP policy (vpr fix) |
+//! | `cargo run -p ff-bench --bin ablate_predictor` | predictor sensitivity sweep |
+//! | `cargo run -p ff-bench --bin ablate_throttle` | §3.5 — A-pipe issue moderation |
 //! | `cargo run -p ff-bench --bin runahead_compare` | §2 — idealized runahead comparison |
 //! | `cargo run -p ff-bench --bin ff_trace` | record + analyze JSONL pipeline traces (see [`traceview`]) |
 //!
-//! Every binary accepts an optional scale argument (`tiny`, `test`,
-//! `ref`; default `test`) and `--json` to emit machine-readable rows.
-//! Run under `--release`; the harness simulates millions of cycles.
+//! Every experiment binary runs its grid through the shared [`sweep`]
+//! engine: cells fan out across all cores (`--jobs N|max`), completed
+//! cells are cached under `results/cache/` (`--no-cache` to disable),
+//! the grid can be narrowed with `--filter <glob>`, and `--scale
+//! tiny|test|ref` (or the bare positional) picks the workload scale.
+//! `--json` emits machine-readable rows — byte-identical for any
+//! `--jobs` value. Run under `--release`; the harness simulates
+//! millions of cycles.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod fmt;
+pub mod sweep;
 pub mod traceview;
-
-use ff_workloads::Scale;
-
-/// Parses command-line arguments shared by all harness binaries.
-///
-/// Returns the scale (default [`Scale::Test`]) and whether JSON output
-/// was requested.
-#[must_use]
-pub fn parse_args() -> (Scale, bool) {
-    let mut scale = Scale::Test;
-    let mut json = false;
-    for arg in std::env::args().skip(1) {
-        match arg.as_str() {
-            "tiny" => scale = Scale::Tiny,
-            "test" => scale = Scale::Test,
-            "ref" | "reference" => scale = Scale::Reference,
-            "--json" => json = true,
-            other => {
-                eprintln!("warning: ignoring unknown argument `{other}`");
-            }
-        }
-    }
-    (scale, json)
-}

@@ -1,0 +1,539 @@
+//! Parallel, cached experiment sweep engine.
+//!
+//! Every harness binary used to carry its own copy-pasted serial driver
+//! loop; this module replaces them with one shared engine. An experiment
+//! is a grid of [`Cell`]s — one (kernel, model, params) triple each —
+//! that the engine fans out across worker threads
+//! ([`std::thread::scope`], dynamic load balancing via a shared work
+//! index), with:
+//!
+//! * **deterministic result ordering** — results are collected by cell
+//!   index, so the output is byte-identical whatever `--jobs` is or how
+//!   the scheduler interleaves workers;
+//! * **per-cell panic isolation** — a diverging or asserting simulation
+//!   marks its own cell failed ([`CellResult::outcome`]) instead of
+//!   killing the whole sweep;
+//! * **a content-addressed result cache** under `results/cache/`, keyed
+//!   by a hash of (experiment, kernel, model, params, scale, code
+//!   version), so unchanged cells are loaded instead of re-simulated.
+//!
+//! All sweep binaries share one CLI, parsed by [`SweepOpts`]:
+//! `[tiny|test|ref] [--scale S] [--jobs N|max] [--filter GLOB]
+//! [--no-cache] [--cache-dir DIR] [--json]`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use ff_workloads::Scale;
+use serde::{Deserialize, Serialize, Value};
+
+/// Cache schema / simulator-semantics version. Part of every cache key:
+/// bump it whenever a change anywhere in the simulator (or in a row
+/// type) can alter cell results, and every previously cached cell is
+/// invalidated at once.
+pub const CODE_VERSION: &str = "2";
+
+/// Default cache directory, relative to the working directory.
+pub const DEFAULT_CACHE_DIR: &str = "results/cache";
+
+// ---- CLI ----------------------------------------------------------------
+
+/// Options shared by every sweep binary.
+#[derive(Debug, Clone)]
+pub struct SweepOpts {
+    /// Workload scale (positional `tiny|test|ref` or `--scale S`).
+    pub scale: Scale,
+    /// Emit machine-readable JSON rows instead of a table (`--json`).
+    pub json: bool,
+    /// Worker threads (`--jobs N`, `--jobs max`; default: all cores).
+    pub jobs: usize,
+    /// Whether the result cache is consulted and written
+    /// (`--no-cache` disables both).
+    pub cache: bool,
+    /// Keep only cells whose kernel or model matches this glob
+    /// (`--filter GLOB`, `*` and `?` wildcards).
+    pub filter: Option<String>,
+    /// Cache directory (`--cache-dir DIR`).
+    pub cache_dir: PathBuf,
+}
+
+impl Default for SweepOpts {
+    fn default() -> Self {
+        SweepOpts {
+            scale: Scale::Test,
+            json: false,
+            jobs: default_jobs(),
+            cache: true,
+            filter: None,
+            cache_dir: PathBuf::from(DEFAULT_CACHE_DIR),
+        }
+    }
+}
+
+/// Number of worker threads used when `--jobs` is absent or `max`.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+impl SweepOpts {
+    /// Parses the shared sweep CLI from explicit arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when a flag is malformed (bad `--jobs`
+    /// value, missing flag argument, unknown scale).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<SweepOpts, String> {
+        let mut opts = SweepOpts::default();
+        let mut it = args.into_iter();
+        let take_value = |flag: &str, inline: Option<&str>, it: &mut I::IntoIter| match inline {
+            Some(v) => Ok(v.to_string()),
+            None => it.next().ok_or_else(|| format!("{flag} requires a value")),
+        };
+        while let Some(arg) = it.next() {
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) => (f.to_string(), Some(v.to_string())),
+                None => (arg.clone(), None),
+            };
+            match flag.as_str() {
+                "--json" => opts.json = true,
+                "--no-cache" => opts.cache = false,
+                "--scale" => {
+                    let v = take_value("--scale", inline.as_deref(), &mut it)?;
+                    opts.scale = Scale::parse(&v).ok_or_else(|| {
+                        format!("unknown scale `{v}` (expected tiny, test, or ref)")
+                    })?;
+                }
+                "--jobs" => {
+                    let v = take_value("--jobs", inline.as_deref(), &mut it)?;
+                    opts.jobs = if v == "max" {
+                        default_jobs()
+                    } else {
+                        match v.parse::<usize>() {
+                            Ok(n) if n >= 1 => n,
+                            _ => return Err(format!("bad --jobs value `{v}` (need >= 1 or max)")),
+                        }
+                    };
+                }
+                "--filter" => {
+                    opts.filter = Some(take_value("--filter", inline.as_deref(), &mut it)?);
+                }
+                "--cache-dir" => {
+                    opts.cache_dir =
+                        PathBuf::from(take_value("--cache-dir", inline.as_deref(), &mut it)?);
+                }
+                other => match Scale::parse(other) {
+                    Some(scale) => opts.scale = scale,
+                    None => eprintln!("warning: ignoring unknown argument `{other}`"),
+                },
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parses the process arguments, exiting with a message on error.
+    #[must_use]
+    pub fn from_env() -> SweepOpts {
+        match SweepOpts::parse(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!(
+                    "error: {msg}\nusage: [tiny|test|ref] [--scale S] [--jobs N|max] \
+                     [--filter GLOB] [--no-cache] [--cache-dir DIR] [--json]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+// ---- cells --------------------------------------------------------------
+
+/// One unit of sweep work: a (kernel, model, params) grid point and the
+/// closure that simulates it.
+pub struct Cell<R> {
+    /// Kernel (workload) name, e.g. `"mcf-like"` — `--filter` target.
+    pub kernel: String,
+    /// Model or policy label, e.g. `"2P"` — `--filter` target.
+    pub model: String,
+    /// Extra configuration key material, e.g. `"latency=4"` (empty when
+    /// the experiment has no extra axis).
+    pub params: String,
+    /// Computes the cell's row. Must be deterministic: the cache
+    /// replays results across processes.
+    #[allow(clippy::type_complexity)]
+    pub run: Box<dyn Fn() -> R + Send + Sync>,
+}
+
+impl<R> Cell<R> {
+    /// A new cell; `params` may be empty.
+    pub fn new(
+        kernel: impl Into<String>,
+        model: impl Into<String>,
+        params: impl Into<String>,
+        run: impl Fn() -> R + Send + Sync + 'static,
+    ) -> Self {
+        Cell {
+            kernel: kernel.into(),
+            model: model.into(),
+            params: params.into(),
+            run: Box::new(run),
+        }
+    }
+}
+
+impl<R> std::fmt::Debug for Cell<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cell")
+            .field("kernel", &self.kernel)
+            .field("model", &self.model)
+            .field("params", &self.params)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Where a successful cell's row came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellSource {
+    /// Simulated in this run.
+    Computed,
+    /// Loaded from the result cache.
+    Cached,
+}
+
+/// One cell's result, in grid order.
+#[derive(Debug)]
+pub struct CellResult<R> {
+    /// Kernel name (echoed from the cell).
+    pub kernel: String,
+    /// Model label (echoed from the cell).
+    pub model: String,
+    /// Params (echoed from the cell).
+    pub params: String,
+    /// The row, or the panic message of a failed cell.
+    pub outcome: Result<(R, CellSource), String>,
+}
+
+/// Sweep bookkeeping, printed to stderr by [`run_sweep`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Cells in the grid before filtering.
+    pub grid: usize,
+    /// Cells dropped by `--filter`.
+    pub filtered_out: usize,
+    /// Cells simulated this run.
+    pub computed: usize,
+    /// Cells loaded from the cache.
+    pub cached: usize,
+    /// Cells whose simulation panicked.
+    pub failed: usize,
+}
+
+/// The outcome of one sweep: per-cell results in grid order plus stats.
+#[derive(Debug)]
+pub struct SweepRun<R> {
+    /// Per-cell results, in the same order the grid listed them.
+    pub cells: Vec<CellResult<R>>,
+    /// Bookkeeping counters.
+    pub stats: SweepStats,
+}
+
+impl<R> SweepRun<R> {
+    /// The successful rows, in grid order (failed cells are skipped).
+    #[must_use]
+    pub fn into_rows(self) -> Vec<R> {
+        self.cells.into_iter().filter_map(|c| c.outcome.ok().map(|(row, _)| row)).collect()
+    }
+}
+
+// ---- engine -------------------------------------------------------------
+
+/// Runs `cells` across `opts.jobs` worker threads, consulting the
+/// result cache first. See the module docs for the guarantees.
+pub fn run_sweep<R>(experiment: &str, opts: &SweepOpts, cells: Vec<Cell<R>>) -> SweepRun<R>
+where
+    R: Serialize + Deserialize + Send,
+{
+    let mut stats = SweepStats { grid: cells.len(), ..SweepStats::default() };
+    let cells: Vec<Cell<R>> = match &opts.filter {
+        Some(pat) => {
+            let kept: Vec<Cell<R>> = cells
+                .into_iter()
+                .filter(|c| glob_match(pat, &c.kernel) || glob_match(pat, &c.model))
+                .collect();
+            stats.filtered_out = stats.grid - kept.len();
+            kept
+        }
+        None => cells,
+    };
+
+    // Phase 1: satisfy what we can from the cache (serial: pure I/O).
+    let keys: Vec<String> = cells.iter().map(|c| cache_key(experiment, c, opts.scale)).collect();
+    let mut slots: Vec<Option<Result<(R, CellSource), String>>> = Vec::new();
+    let mut pending: Vec<usize> = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        let hit = if opts.cache { cache_read::<R>(&opts.cache_dir, key) } else { None };
+        match hit {
+            Some(row) => slots.push(Some(Ok((row, CellSource::Cached)))),
+            None => {
+                slots.push(None);
+                pending.push(i);
+            }
+        }
+    }
+
+    // Phase 2: fan the remaining cells out over the worker pool. Workers
+    // pull the next un-run cell off a shared index — dynamic load
+    // balancing without any per-thread queues — and write into their
+    // cell's slot, so result order never depends on scheduling.
+    if !pending.is_empty() {
+        let computed: Vec<Mutex<Option<Result<R, String>>>> =
+            pending.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = opts.jobs.min(pending.len()).max(1);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&cell_idx) = pending.get(slot) else { break };
+                    let cell = &cells[cell_idx];
+                    let out = catch_unwind(AssertUnwindSafe(|| (cell.run)()));
+                    *computed[slot].lock().unwrap() = Some(out.map_err(|p| panic_message(&*p)));
+                });
+            }
+        });
+        for (slot, &cell_idx) in pending.iter().enumerate() {
+            let result = computed[slot]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("worker pool drained every pending cell");
+            if let Ok(row) = &result {
+                if opts.cache {
+                    cache_write(&opts.cache_dir, &keys[cell_idx], row);
+                }
+            }
+            slots[cell_idx] = Some(result.map(|row| (row, CellSource::Computed)));
+        }
+    }
+
+    let mut results = Vec::with_capacity(cells.len());
+    for (cell, slot) in cells.into_iter().zip(slots) {
+        let outcome = slot.expect("every kept cell resolved");
+        match &outcome {
+            Ok((_, CellSource::Cached)) => stats.cached += 1,
+            Ok((_, CellSource::Computed)) => stats.computed += 1,
+            Err(msg) => {
+                stats.failed += 1;
+                eprintln!(
+                    "sweep {experiment}: cell {}/{}{}{} FAILED: {msg}",
+                    cell.kernel,
+                    cell.model,
+                    if cell.params.is_empty() { "" } else { "/" },
+                    cell.params
+                );
+            }
+        }
+        results.push(CellResult {
+            kernel: cell.kernel,
+            model: cell.model,
+            params: cell.params,
+            outcome,
+        });
+    }
+
+    eprintln!(
+        "sweep {experiment}: {} cells ({} filtered out) — {} computed, {} cached, {} failed \
+         [jobs={}, scale={}{}]",
+        stats.grid - stats.filtered_out,
+        stats.filtered_out,
+        stats.computed,
+        stats.cached,
+        stats.failed,
+        opts.jobs,
+        opts.scale.label(),
+        if opts.cache { "" } else { ", cache off" },
+    );
+    SweepRun { cells: results, stats }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ---- cache --------------------------------------------------------------
+
+/// The full (pre-hash) cache key of one cell.
+#[must_use]
+pub fn cache_key<R>(experiment: &str, cell: &Cell<R>, scale: Scale) -> String {
+    format!(
+        "experiment={experiment};kernel={};model={};params={};scale={};code={}",
+        cell.kernel,
+        cell.model,
+        cell.params,
+        scale.label(),
+        CODE_VERSION,
+    )
+}
+
+/// The cache file path for a key: `<dir>/<fnv1a64(key)>.json`.
+#[must_use]
+pub fn cache_path(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!("{:016x}.json", fnv1a64(key.as_bytes())))
+}
+
+/// 64-bit FNV-1a, the content-address hash (no external deps).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn cache_read<R: Deserialize>(dir: &Path, key: &str) -> Option<R> {
+    let text = std::fs::read_to_string(cache_path(dir, key)).ok()?;
+    let value: Value = serde_json::from_str(&text).ok()?;
+    // The stored key guards against hash collisions and stale schemas.
+    if value.get("key")?.as_str()? != key {
+        return None;
+    }
+    R::from_value(value.get("result")?).ok()
+}
+
+fn cache_write<R: Serialize>(dir: &Path, key: &str, row: &R) {
+    let path = cache_path(dir, key);
+    let entry = Value::Object(vec![
+        ("key".to_string(), Value::Str(key.to_string())),
+        ("result".to_string(), row.to_value()),
+    ]);
+    let text = match serde_json::to_string_pretty(&entry) {
+        Ok(t) => t,
+        Err(_) => return,
+    };
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    // Write-then-rename keeps concurrent sweeps from reading torn files.
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+// ---- filtering ----------------------------------------------------------
+
+/// Case-sensitive glob match supporting `*` (any run) and `?` (any one
+/// character).
+#[must_use]
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let (mut star, mut star_ti) = (None, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = Some(pi);
+            star_ti = ti;
+            pi += 1;
+        } else if let Some(sp) = star {
+            pi = sp + 1;
+            star_ti += 1;
+            ti = star_ti;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glob_basics() {
+        assert!(glob_match("mcf-like", "mcf-like"));
+        assert!(glob_match("mcf*", "mcf-like"));
+        assert!(glob_match("*like", "mcf-like"));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("2P", "2P"));
+        assert!(glob_match("?P", "2P"));
+        assert!(!glob_match("2P", "2Pre"));
+        assert!(glob_match("2P*", "2Pre"));
+        assert!(!glob_match("mcf", "mcf-like"));
+        assert!(!glob_match("", "x"));
+        assert!(glob_match("", ""));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned: cache filenames must not drift between builds.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn opts_parse_flags() {
+        let opts = SweepOpts::parse(
+            ["tiny", "--jobs", "3", "--filter", "mcf*", "--no-cache", "--json"].map(String::from),
+        )
+        .unwrap();
+        assert_eq!(opts.scale, Scale::Tiny);
+        assert_eq!(opts.jobs, 3);
+        assert_eq!(opts.filter.as_deref(), Some("mcf*"));
+        assert!(!opts.cache);
+        assert!(opts.json);
+    }
+
+    #[test]
+    fn opts_parse_equals_and_scale_flag() {
+        let opts =
+            SweepOpts::parse(["--scale=ref", "--jobs=max", "--cache-dir=/tmp/c"].map(String::from))
+                .unwrap();
+        assert_eq!(opts.scale, Scale::Reference);
+        assert_eq!(opts.jobs, default_jobs());
+        assert_eq!(opts.cache_dir, PathBuf::from("/tmp/c"));
+    }
+
+    #[test]
+    fn opts_reject_bad_jobs() {
+        assert!(SweepOpts::parse(["--jobs", "0"].map(String::from)).is_err());
+        assert!(SweepOpts::parse(["--jobs", "many"].map(String::from)).is_err());
+        assert!(SweepOpts::parse(["--scale", "huge"].map(String::from)).is_err());
+    }
+
+    #[test]
+    fn cache_key_distinguishes_every_axis() {
+        let cell = |k: &str, m: &str, p: &str| Cell::new(k, m, p, || 0u64);
+        let keys = [
+            cache_key("e1", &cell("k", "m", "p"), Scale::Tiny),
+            cache_key("e2", &cell("k", "m", "p"), Scale::Tiny),
+            cache_key("e1", &cell("k2", "m", "p"), Scale::Tiny),
+            cache_key("e1", &cell("k", "m2", "p"), Scale::Tiny),
+            cache_key("e1", &cell("k", "m", "p2"), Scale::Tiny),
+            cache_key("e1", &cell("k", "m", "p"), Scale::Test),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in keys.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

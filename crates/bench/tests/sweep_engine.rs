@@ -1,0 +1,166 @@
+//! Integration tests for the shared sweep engine: deterministic ordering
+//! under any `--jobs`, per-cell panic isolation, and the content-addressed
+//! result cache.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use ff_bench::sweep::{run_sweep, Cell, CellSource, SweepOpts};
+use ff_workloads::Scale;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Row {
+    kernel: String,
+    model: String,
+    value: u64,
+}
+
+/// A fresh, empty cache directory unique to this test process + name.
+fn temp_cache(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ff-sweep-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(jobs: usize, cache_dir: &Path, cache: bool) -> SweepOpts {
+    SweepOpts {
+        scale: Scale::Tiny,
+        json: false,
+        jobs,
+        cache,
+        filter: None,
+        cache_dir: cache_dir.to_path_buf(),
+    }
+}
+
+/// Synthetic grid whose cells finish in deliberately scrambled order (the
+/// early cells sleep the longest), so any ordering that leaked scheduling
+/// would show up immediately.
+fn scrambled_cells(count: u64) -> Vec<Cell<Row>> {
+    (0..count)
+        .map(|i| {
+            let kernel = format!("k{i}");
+            let model = if i % 2 == 0 { "even" } else { "odd" }.to_string();
+            let (k, m) = (kernel.clone(), model.clone());
+            Cell::new(kernel, model, "", move || {
+                std::thread::sleep(std::time::Duration::from_millis(count - i));
+                Row { kernel: k.clone(), model: m.clone(), value: i * i }
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn result_order_is_grid_order_for_any_job_count() {
+    let dir = temp_cache("order");
+    let mut runs = Vec::new();
+    for jobs in [1, 4, 16] {
+        let run = run_sweep("order-test", &opts(jobs, &dir, false), scrambled_cells(12));
+        assert_eq!(run.stats.computed, 12);
+        runs.push(run.into_rows());
+    }
+    assert_eq!(runs[0], runs[1]);
+    assert_eq!(runs[1], runs[2]);
+    for (i, row) in runs[0].iter().enumerate() {
+        assert_eq!(row.kernel, format!("k{i}"));
+        assert_eq!(row.value, (i * i) as u64);
+    }
+}
+
+#[test]
+fn a_panicking_cell_fails_alone() {
+    let dir = temp_cache("panic");
+    let mut cells = scrambled_cells(4);
+    cells.insert(
+        2,
+        Cell::new("bad", "2P", "", || -> Row { panic!("cell exploded mid-simulation") }),
+    );
+    let run = run_sweep("panic-test", &opts(4, &dir, false), cells);
+    assert_eq!(run.stats.failed, 1);
+    assert_eq!(run.stats.computed, 4);
+    let failed = &run.cells[2];
+    assert_eq!(failed.kernel, "bad");
+    assert!(failed.outcome.as_ref().is_err_and(|m| m.contains("exploded")));
+    // Surviving rows still come out in grid order.
+    let rows = run.into_rows();
+    assert_eq!(rows.len(), 4);
+    assert_eq!(
+        rows.iter().map(|r| r.kernel.as_str()).collect::<Vec<_>>(),
+        ["k0", "k1", "k2", "k3"]
+    );
+}
+
+#[test]
+fn warm_cache_recomputes_nothing() {
+    let dir = temp_cache("warm");
+    let calls = Arc::new(AtomicUsize::new(0));
+    let make_cells = |calls: &Arc<AtomicUsize>| -> Vec<Cell<Row>> {
+        (0..6u64)
+            .map(|i| {
+                let calls = Arc::clone(calls);
+                Cell::new(format!("k{i}"), "base", "", move || {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    Row { kernel: format!("k{i}"), model: "base".into(), value: i + 100 }
+                })
+            })
+            .collect()
+    };
+
+    let cold = run_sweep("cache-test", &opts(2, &dir, true), make_cells(&calls));
+    assert_eq!((cold.stats.computed, cold.stats.cached), (6, 0));
+    assert_eq!(calls.load(Ordering::Relaxed), 6);
+
+    let warm = run_sweep("cache-test", &opts(2, &dir, true), make_cells(&calls));
+    assert_eq!((warm.stats.computed, warm.stats.cached), (0, 6), "warm run must be all-cached");
+    assert_eq!(calls.load(Ordering::Relaxed), 6, "no cell closure may run on a warm cache");
+    assert!(warm.cells.iter().all(|c| matches!(c.outcome, Ok((_, CellSource::Cached)))));
+    assert_eq!(cold.into_rows(), warm.into_rows());
+
+    // --no-cache bypasses the warm cache entirely.
+    let bypass = run_sweep("cache-test", &opts(2, &dir, false), make_cells(&calls));
+    assert_eq!((bypass.stats.computed, bypass.stats.cached), (6, 0));
+    assert_eq!(calls.load(Ordering::Relaxed), 12);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_is_keyed_by_experiment_and_scale() {
+    let dir = temp_cache("keyed");
+    let cells = || {
+        vec![Cell::new("k", "m", "", || Row { kernel: "k".into(), model: "m".into(), value: 1 })]
+    };
+    let first = run_sweep("exp-a", &opts(1, &dir, true), cells());
+    assert_eq!(first.stats.computed, 1);
+    // Same cell under a different experiment name: a cache miss.
+    let other = run_sweep("exp-b", &opts(1, &dir, true), cells());
+    assert_eq!(other.stats.computed, 1);
+    // Same experiment at a different scale: also a miss.
+    let mut o = opts(1, &dir, true);
+    o.scale = Scale::Test;
+    let scaled = run_sweep("exp-a", &o, cells());
+    assert_eq!(scaled.stats.computed, 1);
+    // And the original is still warm.
+    let warm = run_sweep("exp-a", &opts(1, &dir, true), cells());
+    assert_eq!(warm.stats.cached, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn filter_matches_kernel_or_model_globs() {
+    let dir = temp_cache("filter");
+    let run_with = |pat: &str| {
+        let mut o = opts(2, &dir, false);
+        o.filter = Some(pat.to_string());
+        run_sweep("filter-test", &o, scrambled_cells(6))
+    };
+    let by_kernel = run_with("k[0-9]"); // no character classes: literal, matches nothing
+    assert_eq!(by_kernel.stats.filtered_out, 6);
+    let by_model = run_with("even");
+    assert_eq!(by_model.stats.filtered_out, 3);
+    assert!(by_model.into_rows().iter().all(|r| r.model == "even"));
+    let by_glob = run_with("k*");
+    assert_eq!(by_glob.stats.filtered_out, 0);
+}

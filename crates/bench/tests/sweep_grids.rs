@@ -1,0 +1,55 @@
+//! End-to-end sweep acceptance tests on a real experiment grid: the
+//! fig6 sweep must produce byte-identical JSON whether it runs serial or
+//! parallel, and a warm cache must re-simulate nothing.
+
+use std::path::PathBuf;
+
+use ff_bench::experiments;
+use ff_bench::sweep::{run_sweep, SweepOpts};
+use ff_workloads::Scale;
+
+fn temp_cache(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ff-grid-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fig6_json(opts: &SweepOpts) -> (String, usize, usize) {
+    let run = run_sweep("fig6", opts, experiments::fig6_cells(opts.scale));
+    let (computed, cached) = (run.stats.computed, run.stats.cached);
+    let mut rows = run.into_rows();
+    experiments::fig6_finalize(&mut rows);
+    (serde_json::to_string_pretty(&rows).expect("serializable rows"), computed, cached)
+}
+
+#[test]
+fn fig6_grid_is_deterministic_across_jobs_and_cache() {
+    let dir = temp_cache("fig6");
+    let opts = |jobs: usize, cache: bool| SweepOpts {
+        scale: Scale::Tiny,
+        json: true,
+        jobs,
+        cache,
+        filter: None,
+        cache_dir: dir.clone(),
+    };
+
+    // Serial, cold cache: simulates and populates the cache.
+    let (serial, computed, cached) = fig6_json(&opts(1, true));
+    assert_eq!(cached, 0);
+    assert!(computed > 0);
+
+    // Parallel with the cache disabled: every cell re-simulated on many
+    // threads, yet the JSON must match the serial run byte for byte.
+    let (parallel, recomputed, _) = fig6_json(&opts(8, false));
+    assert_eq!(recomputed, computed);
+    assert_eq!(serial, parallel, "jobs=1 and jobs=8 fig6 JSON must be byte-identical");
+
+    // Warm cache: zero cells re-simulated, same bytes again.
+    let (warm, warm_computed, warm_cached) = fig6_json(&opts(8, true));
+    assert_eq!(warm_computed, 0, "warm-cache fig6 must re-simulate nothing");
+    assert_eq!(warm_cached, computed);
+    assert_eq!(serial, warm);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -314,7 +314,8 @@ impl MetricSource for ff_mem::MshrStats {
     fn export_metrics(&self, m: &mut MetricsBuilder) {
         m.counter("allocations", self.allocations);
         m.counter("merges", self.merges);
-        m.counter("full_rejections", self.full_rejections);
+        m.counter("full_reject_events", self.full_reject_events);
+        m.counter("full_stall_cycles", self.full_stall_cycles);
     }
 }
 

@@ -656,12 +656,15 @@ impl<'p> TwoPass<'p> {
             kind: plan.kind,
             boundary_seq: plan.boundary_seq,
         });
-        let _ = self.cq.flush_younger_than(plan.boundary_seq);
+        // `boundary_seq` is the seq of the flush-triggering instruction
+        // (mispredicted branch / conflicting load); it retires in B, so
+        // flush_after keeps it and squashes only strictly younger work.
+        let _ = self.cq.flush_after(plan.boundary_seq);
         self.frontend.redirect(plan.redirect_pc, self.cycle + plan.penalty);
         let _ =
             self.afile.repair_from(&self.b_regs, &self.b_ready, &self.b_pending_load, self.cycle);
-        self.store_buffer.flush_younger_than(plan.boundary_seq);
-        self.alat.flush_younger_than(plan.boundary_seq);
+        self.store_buffer.flush_after(plan.boundary_seq);
+        self.alat.flush_after(plan.boundary_seq);
         self.feedback.retain(|m| m.seq <= plan.boundary_seq);
         self.a_halted = false;
         self.throttled = false;

@@ -192,9 +192,9 @@ impl CouplingQueue {
         self.entries.drain(..n);
     }
 
-    /// Squashes all entries younger than `boundary_seq`; returns how many
-    /// were removed.
-    pub fn flush_younger_than(&mut self, boundary_seq: u64) -> usize {
+    /// Squashes all entries strictly after `boundary_seq` (the boundary
+    /// entry itself is retained); returns how many were removed.
+    pub fn flush_after(&mut self, boundary_seq: u64) -> usize {
         let before = self.entries.len();
         self.entries.retain(|e| e.seq <= boundary_seq);
         before - self.entries.len()
@@ -251,12 +251,12 @@ mod tests {
     }
 
     #[test]
-    fn flush_younger_keeps_older() {
+    fn flush_after_keeps_boundary_and_older() {
         let mut q = CouplingQueue::new(8);
         for s in 0..5 {
             q.push(entry(s, 0, true));
         }
-        assert_eq!(q.flush_younger_than(2), 2);
+        assert_eq!(q.flush_after(2), 2);
         assert_eq!(q.len(), 3);
         assert_eq!(q.get(2).unwrap().seq, 2);
     }

@@ -161,9 +161,10 @@ impl Alat {
         }
     }
 
-    /// Squashes entries belonging to wrong-path loads (dyn IDs younger
-    /// than the flush boundary).
-    pub fn flush_younger_than(&mut self, boundary_dyn_id: u64) {
+    /// Squashes entries belonging to wrong-path loads (dyn IDs strictly
+    /// after the flush boundary). The boundary entry itself is retained —
+    /// the instruction at the boundary triggered the flush and retires.
+    pub fn flush_after(&mut self, boundary_dyn_id: u64) {
         self.entries.retain(|e| e.dyn_id <= boundary_dyn_id);
     }
 
@@ -224,11 +225,11 @@ mod tests {
     }
 
     #[test]
-    fn flush_younger_squashes_wrong_path_entries() {
+    fn flush_after_squashes_wrong_path_entries() {
         let mut alat = Alat::new(AlatConfig::Perfect);
         alat.allocate(5, 0x0, 8);
         alat.allocate(9, 0x8, 8);
-        alat.flush_younger_than(5);
+        alat.flush_after(5);
         assert_eq!(alat.check_and_remove(5), AlatCheck::Clean);
         assert_eq!(alat.check_and_remove(9), AlatCheck::Conflict);
     }

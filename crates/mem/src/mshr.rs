@@ -15,14 +15,24 @@ struct Entry {
 }
 
 /// Statistics kept by the MSHR file.
+///
+/// A full file that keeps rejecting the same retried request every cycle
+/// produces two distinct signals: `full_stall_cycles` counts every rejected
+/// [`MshrFile::request`] call (i.e. cycles spent stalled, if the caller
+/// retries once per cycle), while `full_reject_events` counts *distinct*
+/// rejection episodes — a back-to-back retry of the same line on the next
+/// cycle is a continuation of the same event, not a new one.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MshrStats {
     /// Fills allocated.
     pub allocations: u64,
     /// Requests merged into an existing in-flight fill.
     pub merges: u64,
-    /// Requests rejected because the file was full.
-    pub full_rejections: u64,
+    /// Distinct full-file rejection episodes (consecutive-cycle retries of
+    /// the same line count once).
+    pub full_reject_events: u64,
+    /// Rejected `request` calls in total — one per stalled attempt.
+    pub full_stall_cycles: u64,
 }
 
 /// A finite file of miss-status holding registers.
@@ -47,6 +57,9 @@ pub struct MshrFile {
     capacity: usize,
     entries: Vec<Entry>,
     stats: MshrStats,
+    /// `(cycle, line)` of the most recent rejection, used to distinguish a
+    /// fresh rejection event from a per-cycle retry of the same request.
+    last_reject: Option<(u64, u64)>,
 }
 
 impl MshrFile {
@@ -58,7 +71,12 @@ impl MshrFile {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be nonzero");
-        MshrFile { capacity, entries: Vec::with_capacity(capacity), stats: MshrStats::default() }
+        MshrFile {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            stats: MshrStats::default(),
+            last_reject: None,
+        }
     }
 
     /// Capacity in distinct lines.
@@ -89,6 +107,10 @@ impl MshrFile {
     /// if the file is full (the requester must retry — a *resource
     /// stall*). Requests for an already-in-flight line merge and return
     /// the existing completion time.
+    ///
+    /// Each rejected call bumps [`MshrStats::full_stall_cycles`];
+    /// [`MshrStats::full_reject_events`] is bumped only when the rejection
+    /// is not a consecutive-cycle retry of the same line.
     pub fn request(&mut self, now: u64, line: u64, done_at: u64) -> Option<u64> {
         self.expire(now);
         if let Some(e) = self.entries.iter().find(|e| e.line == line) {
@@ -96,7 +118,14 @@ impl MshrFile {
             return Some(e.done_at);
         }
         if self.entries.len() >= self.capacity {
-            self.stats.full_rejections += 1;
+            self.stats.full_stall_cycles += 1;
+            let continuation = self
+                .last_reject
+                .is_some_and(|(cycle, l)| l == line && now <= cycle.saturating_add(1));
+            if !continuation {
+                self.stats.full_reject_events += 1;
+            }
+            self.last_reject = Some((now, line));
             return None;
         }
         self.entries.push(Entry { line, done_at });
@@ -126,6 +155,7 @@ impl MshrFile {
     pub fn reset(&mut self) {
         self.entries.clear();
         self.stats = MshrStats::default();
+        self.last_reject = None;
     }
 }
 
@@ -147,9 +177,28 @@ mod tests {
         let mut m = MshrFile::new(1);
         assert!(m.request(0, 0x40, 100).is_some());
         assert!(m.request(1, 0x80, 101).is_none());
-        assert_eq!(m.stats().full_rejections, 1);
+        assert_eq!(m.stats().full_reject_events, 1);
+        assert_eq!(m.stats().full_stall_cycles, 1);
         // merging is still allowed when full
         assert_eq!(m.request(2, 0x40, 102), Some(100));
+    }
+
+    #[test]
+    fn per_cycle_retries_count_one_reject_event() {
+        let mut m = MshrFile::new(1);
+        assert!(m.request(0, 0x40, 100).is_some());
+        // The same line retried every cycle is one stall episode...
+        for now in 1..=5 {
+            assert!(m.request(now, 0x80, 100 + now).is_none());
+        }
+        assert_eq!(m.stats().full_stall_cycles, 5);
+        assert_eq!(m.stats().full_reject_events, 1);
+        // ...but a different line, or a gap of more than one cycle,
+        // starts a new event.
+        assert!(m.request(6, 0xC0, 106).is_none());
+        assert!(m.request(9, 0xC0, 109).is_none());
+        assert_eq!(m.stats().full_stall_cycles, 7);
+        assert_eq!(m.stats().full_reject_events, 3);
     }
 
     #[test]

@@ -25,12 +25,20 @@ pub struct BufferedStore {
     pub bits: u64,
 }
 
+// Range arithmetic is done in u128 so that accesses ending exactly at (or
+// spanning past) the top of the 64-bit address space neither wrap around to
+// address zero nor overflow in debug builds. A store at `u64::MAX - 4` of
+// size 8 simply has an end one past `u64::MAX`; it never aliases address 0.
 fn overlaps(a_addr: u64, a_size: u64, b_addr: u64, b_size: u64) -> bool {
-    a_addr < b_addr.wrapping_add(b_size) && b_addr < a_addr.wrapping_add(a_size)
+    let a_end = a_addr as u128 + a_size as u128;
+    let b_end = b_addr as u128 + b_size as u128;
+    (a_addr as u128) < b_end && (b_addr as u128) < a_end
 }
 
 fn covers(outer: &BufferedStore, addr: u64, size: u64) -> bool {
-    outer.addr <= addr && addr + size <= outer.addr + outer.size
+    let inner_end = addr as u128 + size as u128;
+    let outer_end = outer.addr as u128 + outer.size as u128;
+    outer.addr <= addr && inner_end <= outer_end
 }
 
 /// Result of a forwarding lookup for an A-pipe load.
@@ -180,9 +188,14 @@ impl StoreBuffer {
         Some(self.entries.remove(pos))
     }
 
-    /// Squashes all stores younger than `boundary_seq` (wrong-path squash
-    /// on a misprediction or store-conflict flush).
-    pub fn flush_younger_than(&mut self, boundary_seq: u64) {
+    /// Squashes all stores *after* `boundary_seq` (wrong-path squash on a
+    /// misprediction or store-conflict flush).
+    ///
+    /// The boundary entry itself is retained: `boundary_seq` is the
+    /// sequence number of the instruction that triggered the flush (the
+    /// mispredicted branch, or the conflicting load), which itself retires
+    /// in the B-pipe — only strictly younger work is wrong-path.
+    pub fn flush_after(&mut self, boundary_seq: u64) {
         self.entries.retain(|e| e.seq <= boundary_seq);
     }
 
@@ -246,17 +259,59 @@ mod tests {
     }
 
     #[test]
-    fn remove_on_commit_and_flush_younger() {
+    fn remove_on_commit_and_flush_after() {
         let mut sb = StoreBuffer::new(8);
         sb.insert(1, 0x0, 8, 10).unwrap();
         sb.insert(2, 0x8, 8, 20).unwrap();
         sb.insert(3, 0x10, 8, 30).unwrap();
         assert_eq!(sb.remove(1).unwrap().bits, 10);
         assert!(sb.remove(1).is_none());
-        sb.flush_younger_than(2);
+        sb.flush_after(2);
         assert_eq!(sb.len(), 1);
         assert_eq!(sb.forward(9, 0x8, 8), ForwardResult::Forwarded(20));
         assert_eq!(sb.forward(9, 0x10, 8), ForwardResult::NoConflict);
+    }
+
+    #[test]
+    fn flush_after_retains_the_boundary_entry() {
+        // The boundary instruction (the mispredicted branch / conflicting
+        // load) retires in B; only strictly younger entries are wrong-path.
+        let mut sb = StoreBuffer::new(8);
+        sb.insert(4, 0x0, 8, 40).unwrap();
+        sb.insert(5, 0x8, 8, 50).unwrap();
+        sb.insert(6, 0x10, 8, 60).unwrap();
+        sb.flush_after(5);
+        assert_eq!(sb.len(), 2);
+        assert_eq!(sb.forward(9, 0x8, 8), ForwardResult::Forwarded(50));
+        assert_eq!(sb.forward(9, 0x10, 8), ForwardResult::NoConflict);
+    }
+
+    #[test]
+    fn top_of_address_space_full_cover_forwards() {
+        // Regression: `covers` used unchecked `addr + size`, which
+        // overflowed (debug panic) for accesses ending at 2^64.
+        let mut sb = StoreBuffer::new(4);
+        let addr = u64::MAX - 4;
+        sb.insert(1, addr, 4, 0xCAFE_BABE).unwrap();
+        assert_eq!(sb.forward(2, addr, 4), ForwardResult::Forwarded(0xCAFE_BABE));
+        assert_eq!(sb.forward(2, addr + 2, 2), ForwardResult::Forwarded(0xCAFE));
+    }
+
+    #[test]
+    fn top_of_address_space_partial_and_disjoint() {
+        let mut sb = StoreBuffer::new(4);
+        let addr = u64::MAX - 4;
+        // Store covering [MAX-4, MAX+1) in u128 terms — 5 bytes.
+        sb.insert(1, addr, 5, 0x11_2233_4455).unwrap();
+        // Load of 8 bytes starting below the store: overlap, not covered.
+        assert_eq!(sb.forward(2, addr - 3, 8), ForwardResult::Partial);
+        // A store ending exactly at 2^64 does not wrap onto address 0:
+        // the old wrapping_add-based `overlaps` would have treated the
+        // range as empty or aliased low addresses.
+        sb.clear();
+        sb.insert(3, u64::MAX - 7, 8, 0xFFFF).unwrap();
+        assert_eq!(sb.forward(4, 0x0, 8), ForwardResult::NoConflict);
+        assert_eq!(sb.forward(4, u64::MAX - 7, 8), ForwardResult::Forwarded(0xFFFF));
     }
 
     #[test]

@@ -71,6 +71,29 @@ pub enum Scale {
 }
 
 impl Scale {
+    /// Stable lowercase label (`"tiny"`, `"test"`, `"ref"`), used in
+    /// CLI parsing and cache keys.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Test => "test",
+            Scale::Reference => "ref",
+        }
+    }
+
+    /// Parses a scale label; accepts `"reference"` as an alias of
+    /// `"ref"`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "test" => Some(Scale::Test),
+            "ref" | "reference" => Some(Scale::Reference),
+            _ => None,
+        }
+    }
+
     /// Iteration multiplier relative to `Tiny`.
     #[must_use]
     pub fn factor(self) -> u64 {
