@@ -4,6 +4,8 @@
 //! ff_trace record <out.jsonl> [--model base|2p|2pre|runahead] [--bench NAME]
 //!                             [--scale tiny|test|ref] [--max N]
 //! ff_trace summary  <trace.jsonl>
+//! ff_trace cpi      <trace.jsonl> [--json]
+//! ff_trace profile  <trace.jsonl> [--top N] [--bench NAME --scale S]
 //! ff_trace queue    <trace.jsonl>
 //! ff_trace stalls   <trace.jsonl>
 //! ff_trace slip     <trace.jsonl>
@@ -13,9 +15,12 @@
 //!
 //! `record` runs a built-in benchmark on the chosen model with a
 //! streaming [`ff_core::JsonlSink`]; the analysis subcommands work on
-//! the resulting file (or any JSONL trace). `chrome` emits Chrome
-//! trace-event JSON loadable in Perfetto (<https://ui.perfetto.dev>)
-//! or `chrome://tracing`.
+//! the resulting file (or any JSONL trace). `cpi` renders a
+//! hierarchical CPI stack (six classes refined into per-cause rows);
+//! `profile` ranks the static PCs the machine stalled on, `perf
+//! report`-style, annotating them with kernel source when `--bench` is
+//! given. `chrome` emits Chrome trace-event JSON loadable in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`.
 
 use ff_bench::traceview;
 use ff_core::{Baseline, CycleClass, JsonlSink, MachineConfig, Runahead, TraceEvent, TwoPass};
@@ -28,6 +33,8 @@ const USAGE: &str = "usage:
   ff_trace record <out.jsonl> [--model base|2p|2pre|runahead] [--bench NAME]
                               [--scale tiny|test|ref] [--max N]
   ff_trace summary  <trace.jsonl>
+  ff_trace cpi      <trace.jsonl> [--json]
+  ff_trace profile  <trace.jsonl> [--top N] [--bench NAME --scale S]
   ff_trace queue    <trace.jsonl>
   ff_trace stalls   <trace.jsonl>
   ff_trace slip     <trace.jsonl>
@@ -39,6 +46,8 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("record") => record(&args[1..]),
         Some("summary") => analyze(&args[1..], |ev| print!("{}", render_summary(&ev))),
+        Some("cpi") => cpi_cmd(&args[1..]),
+        Some("profile") => profile_cmd(&args[1..]),
         Some("queue") => analyze(&args[1..], |ev| print!("{}", render_queue(&ev))),
         Some("stalls") => analyze(&args[1..], |ev| print!("{}", render_stalls(&ev))),
         Some("slip") => analyze(&args[1..], |ev| print!("{}", render_slip(&ev))),
@@ -161,6 +170,87 @@ fn render_summary(events: &[TraceEvent]) -> String {
         out.push_str(&format!("  {:<12} {n:>10}  {:>5.1}%\n", class.label(), frac * 100.0));
     }
     out
+}
+
+fn cpi_cmd(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let json = if let Some(i) = args.iter().position(|a| a == "--json") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let [path] = args.as_slice() else {
+        return Err(format!("cpi takes one trace path\n{USAGE}"));
+    };
+    let events = load(path)?;
+    let intervals = traceview::cause_intervals(&events);
+    if intervals.is_empty() {
+        return Err(format!("{path}: no cause transitions (trace predates refined accounting?)"));
+    }
+    let breakdown = traceview::cause_breakdown(&intervals);
+    let retired = events.iter().filter(|e| matches!(e, TraceEvent::BRetire { .. })).count() as u64;
+    let stack = traceview::cpi_stack(&breakdown, retired);
+    if json {
+        println!("{}", serde_json::to_string_pretty(&stack).expect("serializable stack"));
+    } else {
+        print!("{}", traceview::render_cpi_stack(&stack));
+    }
+    Ok(())
+}
+
+fn profile_cmd(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let top = take_opt(&mut args, "--top")?
+        .map(|v| v.parse::<usize>().map_err(|e| format!("bad --top: {e}")))
+        .transpose()?
+        .unwrap_or(20);
+    let bench = take_opt(&mut args, "--bench")?;
+    let scale = match take_opt(&mut args, "--scale")?.as_deref() {
+        None | Some("tiny") => Scale::Tiny,
+        Some("test") => Scale::Test,
+        Some("ref" | "reference") => Scale::Reference,
+        Some(other) => return Err(format!("unknown scale `{other}`\n{USAGE}")),
+    };
+    let program = bench
+        .map(|b| {
+            ff_workloads::benchmark_by_name(&b, scale)
+                .map(|w| w.program)
+                .ok_or_else(|| format!("unknown benchmark `{b}` (see `table2` for names)"))
+        })
+        .transpose()?;
+    let [path] = args.as_slice() else {
+        return Err(format!("profile takes one trace path\n{USAGE}"));
+    };
+    let events = load(path)?;
+    let intervals = traceview::cause_intervals(&events);
+    if intervals.is_empty() {
+        return Err(format!("{path}: no cause transitions (trace predates refined accounting?)"));
+    }
+    let profile = traceview::stall_profile(&intervals);
+    let total = profile.total();
+    let cycles = traceview::end_cycle(&events);
+    println!(
+        "stall profile: {} attributable stall cycles over {} total ({} sites)",
+        total,
+        cycles,
+        profile.len()
+    );
+    println!("{:>6}  {:<16} {:>12}  {:>6}  instruction", "pc", "cause", "cycles", "share");
+    for site in profile.top(top) {
+        let share = if total == 0 { 0.0 } else { 100.0 * site.cycles as f64 / total as f64 };
+        let insn = program
+            .as_ref()
+            .and_then(|p| p.get(site.pc))
+            .map_or_else(String::new, ToString::to_string);
+        println!(
+            "{:>6}  {:<16} {:>12}  {share:>5.1}%  {insn}",
+            site.pc,
+            site.cause.label(),
+            site.cycles
+        );
+    }
+    Ok(())
 }
 
 fn render_queue(events: &[TraceEvent]) -> String {

@@ -61,4 +61,26 @@ fn main() {
             tp / re
         );
     }
+
+    // Refined stall causes: only the columns that are nonzero somewhere,
+    // so the compact table stays readable at every scale.
+    let active: Vec<usize> = (0..ff_core::N_CAUSES)
+        .filter(|&i| rows.iter().any(|r| r.cause_fractions[i] > 0.0))
+        .collect();
+    println!("\nrefined stall causes (fraction of cycles; zero columns omitted)\n");
+    print!("{:>14}  {:>5}", "benchmark", "model");
+    for &i in &active {
+        print!("  {:>9}", ff_core::StallCause::ALL[i].label());
+    }
+    println!();
+    for r in &rows {
+        print!("{:>14}  {:>5}", r.benchmark, r.model);
+        for &i in &active {
+            print!("  {:>9}", fmt::pct(r.cause_fractions[i]));
+        }
+        println!();
+        if r.model == "2Pre" {
+            println!();
+        }
+    }
 }

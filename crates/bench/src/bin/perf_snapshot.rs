@@ -1,0 +1,177 @@
+//! perf_snapshot — measures the simulator's own performance (wall
+//! time per component, simulated instructions per host second per
+//! model) and tracks the trajectory across commits.
+//!
+//! Writes `perf/BENCH_<date>.json` and compares the fresh measurement
+//! against the most recent previous snapshot in the same directory,
+//! flagging any section that slipped by more than `--threshold`
+//! (relative, default 0.2). Exit status is 2 on regression unless
+//! `--report-only` is given (CI runs report-only: the numbers are a
+//! trajectory, not a gate — container load makes wall time noisy).
+
+use ff_bench::selfprof::{PerfSnapshot, SelfProfiler};
+use ff_bench::{experiments, fmt};
+use ff_core::{MachineConfig, Runahead, TwoPass};
+use ff_workloads::{paper_benchmarks, Scale};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: perf_snapshot [--scale tiny|test|ref] [--threshold F] \
+[--dir DIR] [--report-only]";
+
+struct Opts {
+    scale: Scale,
+    threshold: f64,
+    dir: PathBuf,
+    report_only: bool,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts =
+        Opts { scale: Scale::Tiny, threshold: 0.2, dir: PathBuf::from("perf"), report_only: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                opts.scale = Scale::parse(&v).ok_or_else(|| format!("unknown scale `{v}`"))?;
+            }
+            "--threshold" => {
+                let v = args.next().ok_or("--threshold needs a value")?;
+                opts.threshold = v.parse().map_err(|e| format!("bad --threshold: {e}"))?;
+            }
+            "--dir" => opts.dir = PathBuf::from(args.next().ok_or("--dir needs a value")?),
+            "--report-only" => opts.report_only = true,
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Measures every component into a profiler: workload construction,
+/// all four machine models end to end over the paper grid, and the
+/// JSONL trace-sink overhead on one representative run.
+fn measure(scale: Scale) -> SelfProfiler {
+    let mut p = SelfProfiler::new();
+    let workloads = p.time("workload.build", || paper_benchmarks(scale));
+
+    for model in experiments::MODELS {
+        let section = format!("sim.{}", model.to_lowercase());
+        for w in &workloads {
+            p.time_work(&section, || {
+                let r = experiments::run_model(w, model);
+                ((), r.retired)
+            });
+        }
+    }
+    let cfg = MachineConfig::paper_table1();
+    for w in &workloads {
+        p.time_work("sim.runahead", || {
+            let r = Runahead::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget);
+            ((), r.retired)
+        });
+    }
+
+    // Trace-sink overhead: the same 2P run, streaming every event to a
+    // JSONL sink that discards its bytes. Compare against sim.2p's
+    // per-instruction cost to see what recording costs.
+    if let Some(w) = workloads.first() {
+        p.time_work("trace.jsonl_sink", || {
+            let mut sink = ff_core::JsonlSink::new(std::io::sink());
+            let r =
+                TwoPass::new(&w.program, w.memory.clone(), cfg).run_with_sink(w.budget, &mut sink);
+            ((), r.retired)
+        });
+    }
+    p
+}
+
+/// The lexicographically latest `BENCH_*.json` in `dir`, if any.
+/// Dates are zero-padded ISO, so lexicographic == chronological.
+fn latest_snapshot(dir: &Path) -> Option<PathBuf> {
+    let mut found: Vec<PathBuf> = fs::read_dir(dir)
+        .ok()?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    found.sort();
+    found.pop()
+}
+
+fn run() -> Result<ExitCode, String> {
+    let opts = parse_opts()?;
+    let prev = latest_snapshot(&opts.dir)
+        .map(|path| -> Result<(PathBuf, PerfSnapshot), String> {
+            let text =
+                fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+            let snap = serde_json::from_str(&text)
+                .map_err(|e| format!("parse {}: {e}", path.display()))?;
+            Ok((path, snap))
+        })
+        .transpose()?;
+
+    let profiler = measure(opts.scale);
+    println!("perf snapshot ({} scale)\n", opts.scale.label());
+    fmt::header(&[("section", 18), ("seconds", 9), ("instrs", 12), ("instrs/sec", 12)]);
+    for s in profiler.sections() {
+        println!(
+            "{:>18}  {:>9.4}  {:>12}  {:>12}",
+            s.name,
+            s.seconds,
+            s.instrs,
+            s.instrs_per_sec().map_or_else(|| "-".to_string(), |v| format!("{v:.0}")),
+        );
+    }
+
+    let snapshot = profiler.into_snapshot(opts.scale.label());
+    let mut regressed = false;
+    if let Some((path, prev)) = prev {
+        println!("\nvs {} ({}, {} scale):", path.display(), prev.date, prev.scale);
+        if prev.scale != snapshot.scale {
+            println!("  scale differs — comparison skipped");
+        } else {
+            for d in prev.compare(&snapshot, opts.threshold) {
+                let unit = if d.throughput { "instrs/sec" } else { "sec" };
+                let tag = if d.regression { "  <-- REGRESSION" } else { "" };
+                println!(
+                    "  {:>18}  {:>10.3} -> {:>10.3} {unit}  ({:+.1}%){tag}",
+                    d.name,
+                    d.prev,
+                    d.cur,
+                    (d.ratio - 1.0) * 100.0
+                );
+                regressed |= d.regression;
+            }
+        }
+    } else {
+        println!("\nno previous snapshot in {} — baseline recorded", opts.dir.display());
+    }
+
+    fs::create_dir_all(&opts.dir).map_err(|e| format!("mkdir {}: {e}", opts.dir.display()))?;
+    let out = opts.dir.join(format!("BENCH_{}.json", snapshot.date));
+    let json = serde_json::to_string_pretty(&snapshot).expect("serializable snapshot");
+    fs::write(&out, json + "\n").map_err(|e| format!("write {}: {e}", out.display()))?;
+    println!("\nwrote {}", out.display());
+
+    if regressed && !opts.report_only {
+        println!("perf regression beyond {:.0}% threshold", opts.threshold * 100.0);
+        return Ok(ExitCode::from(2));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

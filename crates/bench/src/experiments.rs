@@ -73,6 +73,9 @@ pub struct Fig6Row {
     pub normalized: f64,
     /// Fraction of cycles in each [`CycleClass`] (display order).
     pub class_fractions: [f64; 6],
+    /// Fraction of cycles in each refined [`ff_core::StallCause`]
+    /// (cause-index order); sums per class to `class_fractions`.
+    pub cause_fractions: [f64; ff_core::N_CAUSES],
     /// Retired instructions (identical across models by construction).
     pub retired: u64,
 }
@@ -82,12 +85,17 @@ fn fig6_row(benchmark: &str, r: &SimReport) -> Fig6Row {
     for (i, class) in CycleClass::ALL.iter().enumerate() {
         class_fractions[i] = r.breakdown.fraction(*class);
     }
+    let mut cause_fractions = [0.0; ff_core::N_CAUSES];
+    for (i, cause) in ff_core::StallCause::ALL.iter().enumerate() {
+        cause_fractions[i] = r.breakdown2.fraction(*cause);
+    }
     Fig6Row {
         benchmark: benchmark.to_string(),
         model: r.model.to_string(),
         cycles: r.cycles,
         normalized: 0.0,
         class_fractions,
+        cause_fractions,
         retired: r.retired,
     }
 }

@@ -17,6 +17,7 @@
 //! | `cargo run -p ff-bench --bin ablate_throttle` | §3.5 — A-pipe issue moderation |
 //! | `cargo run -p ff-bench --bin runahead_compare` | §2 — idealized runahead comparison |
 //! | `cargo run -p ff-bench --bin ff_trace` | record + analyze JSONL pipeline traces (see [`traceview`]) |
+//! | `cargo run -p ff-bench --bin perf_snapshot` | simulator self-profiling / perf trajectory (see [`selfprof`]) |
 //!
 //! Every experiment binary runs its grid through the shared [`sweep`]
 //! engine: cells fan out across all cores (`--jobs N|max`), completed
@@ -31,5 +32,6 @@
 
 pub mod experiments;
 pub mod fmt;
+pub mod selfprof;
 pub mod sweep;
 pub mod traceview;

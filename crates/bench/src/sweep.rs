@@ -33,7 +33,7 @@ use serde::{Deserialize, Serialize, Value};
 /// bump it whenever a change anywhere in the simulator (or in a row
 /// type) can alter cell results, and every previously cached cell is
 /// invalidated at once.
-pub const CODE_VERSION: &str = "2";
+pub const CODE_VERSION: &str = "3";
 
 /// Default cache directory, relative to the working directory.
 pub const DEFAULT_CACHE_DIR: &str = "results/cache";

@@ -8,7 +8,7 @@
 //! per-cycle ASCII snapshot, and a Chrome trace-event JSON export
 //! loadable in Perfetto (one track per pipe stage).
 
-use ff_core::{CycleClass, Histogram, Pipe, TraceEvent};
+use ff_core::{CauseBreakdown, CycleClass, Histogram, Pipe, StallCause, StallProfile, TraceEvent};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::io::BufRead;
@@ -98,7 +98,9 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
             TraceEvent::ARedirect { .. } => s.redirects += 1,
             TraceEvent::GroupDispatch { pipe, .. } => s.groups[pipe.index()] += 1,
             TraceEvent::MissBegin { level, .. } => s.misses[level.index()] += 1,
-            TraceEvent::MissEnd { .. } | TraceEvent::ClassTransition { .. } => {}
+            TraceEvent::MissEnd { .. }
+            | TraceEvent::ClassTransition { .. }
+            | TraceEvent::CauseTransition { .. } => {}
             TraceEvent::QueueSample { .. } => s.samples += 1,
             TraceEvent::RunaheadEnter { .. } => s.ra_enters += 1,
             TraceEvent::RunaheadExit { discarded, .. } => s.ra_discarded += discarded,
@@ -165,6 +167,178 @@ pub fn interval_histograms(intervals: &[ClassInterval]) -> [Histogram; 6] {
         hists[iv.class.index()].observe(iv.len);
     }
     hists
+}
+
+// ---- refined cause intervals and the CPI stack -------------------------
+
+/// A maximal run of consecutive cycles charged to one refined
+/// [`StallCause`], with the blamed static PC when the cause names one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CauseInterval {
+    /// The refined cause charged.
+    pub cause: StallCause,
+    /// Static PC of the blamed (producing) instruction, if any.
+    pub pc: Option<u64>,
+    /// First cycle of the run.
+    pub start: u64,
+    /// Run length in cycles (always at least 1).
+    pub len: u64,
+}
+
+/// Replays [`TraceEvent::CauseTransition`] events into maximal
+/// per-cause intervals, exactly as [`class_intervals`] does for classes.
+#[must_use]
+pub fn cause_intervals(events: &[TraceEvent]) -> Vec<CauseInterval> {
+    let end = end_cycle(events);
+    let transitions: Vec<(u64, StallCause, Option<u64>)> = events
+        .iter()
+        .filter_map(|e| match *e {
+            TraceEvent::CauseTransition { cycle, cause, pc } => Some((cycle, cause, pc)),
+            _ => None,
+        })
+        .collect();
+    let mut intervals = Vec::with_capacity(transitions.len());
+    for (i, &(start, cause, pc)) in transitions.iter().enumerate() {
+        let until = transitions.get(i + 1).map_or(end, |&(c, _, _)| c);
+        if until > start {
+            intervals.push(CauseInterval { cause, pc, start, len: until - start });
+        }
+    }
+    intervals
+}
+
+/// Total cycles per refined cause, from interval replay. Collapses onto
+/// the six-class totals of [`class_intervals`] when the trace carries
+/// both transition streams.
+#[must_use]
+pub fn cause_breakdown(intervals: &[CauseInterval]) -> CauseBreakdown {
+    let mut b = CauseBreakdown::new();
+    for iv in intervals {
+        b.charge_n(iv.cause, iv.len);
+    }
+    b
+}
+
+/// Reconstructs the per-PC stall profile from interval replay: every
+/// cycle of an attributable interval is charged to its blamed PC.
+/// Agrees with [`ff_core::SimReport::stall_profile`] for a full trace.
+#[must_use]
+pub fn stall_profile(intervals: &[CauseInterval]) -> StallProfile {
+    let mut p = StallProfile::new();
+    for iv in intervals {
+        if let (true, Some(pc)) = (iv.cause.has_site(), iv.pc) {
+            p.record_n(pc as usize, iv.cause, iv.len);
+        }
+    }
+    p
+}
+
+/// A hierarchical CPI stack: per-class rows with nested per-cause rows,
+/// each carrying cycles, the fraction of total cycles, and the CPI
+/// contribution (cycles per retired instruction).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct CpiStack {
+    /// Total cycles covered.
+    pub cycles: u64,
+    /// Instructions retired (0 when the trace carries no retires).
+    pub retired: u64,
+    /// Overall cycles-per-instruction.
+    pub cpi: f64,
+    /// One row per non-empty class, in display order.
+    pub classes: Vec<CpiClassRow>,
+}
+
+/// One class level of the CPI stack.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct CpiClassRow {
+    /// Class label (display order).
+    pub class: String,
+    /// Cycles charged to the class.
+    pub cycles: u64,
+    /// Fraction of total cycles.
+    pub fraction: f64,
+    /// CPI contribution of this class.
+    pub cpi: f64,
+    /// Refined causes under this class, zero-count causes omitted.
+    pub causes: Vec<CpiCauseRow>,
+}
+
+/// One refined-cause leaf of the CPI stack.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct CpiCauseRow {
+    /// Dotted cause label.
+    pub cause: String,
+    /// Cycles charged to the cause.
+    pub cycles: u64,
+    /// Fraction of total cycles.
+    pub fraction: f64,
+    /// CPI contribution of this cause.
+    pub cpi: f64,
+}
+
+/// Builds the hierarchical CPI stack from a refined breakdown.
+#[must_use]
+pub fn cpi_stack(breakdown: &CauseBreakdown, retired: u64) -> CpiStack {
+    let cycles = breakdown.total();
+    let per_instr = |n: u64| if retired == 0 { 0.0 } else { n as f64 / retired as f64 };
+    let frac = |n: u64| if cycles == 0 { 0.0 } else { n as f64 / cycles as f64 };
+    let mut classes = Vec::new();
+    for class in CycleClass::ALL {
+        let class_cycles = breakdown.class_total(class);
+        if class_cycles == 0 {
+            continue;
+        }
+        let causes = StallCause::ALL
+            .iter()
+            .filter(|c| c.class() == class)
+            .filter_map(|&c| {
+                let n = breakdown[c];
+                (n > 0).then(|| CpiCauseRow {
+                    cause: c.label().to_string(),
+                    cycles: n,
+                    fraction: frac(n),
+                    cpi: per_instr(n),
+                })
+            })
+            .collect();
+        classes.push(CpiClassRow {
+            class: class.label().to_string(),
+            cycles: class_cycles,
+            fraction: frac(class_cycles),
+            cpi: per_instr(class_cycles),
+            causes,
+        });
+    }
+    CpiStack { cycles, retired, cpi: per_instr(cycles), classes }
+}
+
+/// Renders a [`CpiStack`] as an indented text table.
+#[must_use]
+pub fn render_cpi_stack(stack: &CpiStack) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "cycles={} retired={} cpi={:.3}", stack.cycles, stack.retired, stack.cpi);
+    let _ = writeln!(out, "{:<24} {:>12} {:>8} {:>8}", "class / cause", "cycles", "frac", "cpi");
+    for class in &stack.classes {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12} {:>7.1}% {:>8.3}",
+            class.class,
+            class.cycles,
+            100.0 * class.fraction,
+            class.cpi
+        );
+        for cause in &class.causes {
+            let _ = writeln!(
+                out,
+                "  {:<22} {:>12} {:>7.1}% {:>8.3}",
+                cause.cause,
+                cause.cycles,
+                100.0 * cause.fraction,
+                cause.cpi
+            );
+        }
+    }
+    out
 }
 
 // ---- occupancy ---------------------------------------------------------
@@ -286,7 +460,9 @@ pub fn snapshot(events: &[TraceEvent], start: u64, end: u64) -> String {
             TraceEvent::RunaheadExit { pc, discarded, .. } => {
                 row.notes.push(format!("ra-exit pc={pc} -{discarded}"));
             }
-            TraceEvent::GroupDispatch { .. } | TraceEvent::ClassTransition { .. } => {}
+            TraceEvent::GroupDispatch { .. }
+            | TraceEvent::ClassTransition { .. }
+            | TraceEvent::CauseTransition { .. } => {}
         }
     }
     // The class at each cycle comes from the interval replay, which sees
@@ -480,7 +656,9 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     );
                 }
             }
-            TraceEvent::ClassTransition { .. } | TraceEvent::MissEnd { .. } => {}
+            TraceEvent::ClassTransition { .. }
+            | TraceEvent::CauseTransition { .. }
+            | TraceEvent::MissEnd { .. } => {}
         }
     }
     if let Some((entered, pc)) = ra_entered {
@@ -627,6 +805,32 @@ mod tests {
         }
         assert_eq!(saw_inflight, report.retired, "one in-flight slice per retire");
         assert_eq!(saw_class as usize, class_intervals(&events).len());
+    }
+
+    #[test]
+    fn cause_replay_agrees_with_report_refined_accounting() {
+        let (report, bytes) = traced_jsonl();
+        let events = load_events(BufReader::new(bytes.as_slice())).unwrap();
+        let ivs = cause_intervals(&events);
+        assert!(!ivs.is_empty());
+        let b2 = cause_breakdown(&ivs);
+        assert_eq!(b2, report.breakdown2, "replayed causes disagree with breakdown2");
+        assert_eq!(b2.collapse(), report.breakdown, "causes must collapse onto classes");
+        let p = stall_profile(&ivs);
+        assert_eq!(p, report.stall_profile, "replayed profile disagrees with the report");
+
+        let stack = cpi_stack(&b2, report.retired);
+        assert_eq!(stack.cycles, report.cycles);
+        let class_sum: u64 = stack.classes.iter().map(|c| c.cycles).sum();
+        assert_eq!(class_sum, report.cycles, "CPI stack classes must tile the run");
+        for class in &stack.classes {
+            let cause_sum: u64 = class.causes.iter().map(|c| c.cycles).sum();
+            assert_eq!(cause_sum, class.cycles, "causes must tile class {}", class.class);
+        }
+        let text = render_cpi_stack(&stack);
+        assert!(text.contains("cpi="), "{text}");
+        let json = serde_json::to_string_pretty(&stack).unwrap();
+        assert!(json.contains("\"classes\""));
     }
 
     #[test]

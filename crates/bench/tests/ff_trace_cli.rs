@@ -1,0 +1,65 @@
+//! CLI contract tests for the `ff_trace` binary: bad invocations must
+//! exit nonzero with the usage text, and the analysis subcommands must
+//! work end-to-end on a freshly recorded trace.
+
+use std::path::Path;
+use std::process::Command;
+
+fn ff_trace(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_ff_trace")).args(args).output().expect("spawn ff_trace")
+}
+
+#[test]
+fn unknown_subcommand_exits_nonzero_with_usage() {
+    let out = ff_trace(&["frobnicate"]);
+    assert!(!out.status.success(), "unknown subcommand must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "stderr must print usage, got:\n{stderr}");
+    assert!(stderr.contains("ff_trace cpi"), "usage must list cpi:\n{stderr}");
+}
+
+#[test]
+fn no_arguments_exits_nonzero_with_usage() {
+    let out = ff_trace(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn missing_trace_file_exits_nonzero() {
+    for sub in ["summary", "cpi", "profile", "queue", "stalls", "slip"] {
+        let out = ff_trace(&[sub, "/nonexistent/path/trace.jsonl"]);
+        assert!(!out.status.success(), "{sub} on a missing file must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("cannot open"), "{sub} stderr:\n{stderr}");
+    }
+}
+
+#[test]
+fn record_then_cpi_and_profile_produce_output() {
+    let dir = std::env::temp_dir().join(format!("ff_trace_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.jsonl");
+    let trace_str = trace.to_str().unwrap();
+
+    let out = ff_trace(&["record", trace_str, "--model", "2p", "--bench", "mcf-like"]);
+    assert!(out.status.success(), "record failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(Path::new(trace_str).exists());
+
+    let out = ff_trace(&["cpi", trace_str]);
+    assert!(out.status.success(), "cpi failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cpi="), "cpi output:\n{text}");
+    assert!(text.contains("load.mem") || text.contains("issue"), "cpi output:\n{text}");
+
+    let out = ff_trace(&["cpi", trace_str, "--json"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"classes\""));
+
+    let out = ff_trace(&["profile", trace_str, "--top", "3", "--bench", "mcf-like"]);
+    assert!(out.status.success(), "profile failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("stall profile:"), "profile output:\n{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

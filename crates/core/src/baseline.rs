@@ -13,7 +13,9 @@
 //! state, and the final registers/memory match the golden interpreter
 //! exactly — a property the test suite checks differentially.
 
-use crate::accounting::{CycleBreakdown, CycleClass};
+use crate::accounting::{
+    CauseBreakdown, CycleBreakdown, CycleClass, StallAttr, StallCause, StallProfile,
+};
 use crate::config::MachineConfig;
 use crate::exec_common::{fitting_prefix, op_latency};
 use crate::frontend::{Frontend, FrontendConfig};
@@ -55,6 +57,10 @@ pub struct Baseline<'p> {
     ready_at: [u64; TOTAL_REGS],
     /// Whether the pending producer of each register is a load.
     pending_load: [bool; TOTAL_REGS],
+    /// Refined stall cause charged if a consumer blocks on the register.
+    reg_cause: [StallCause; TOTAL_REGS],
+    /// Static pc of the register's pending producer (stall blame).
+    reg_pc: [usize; TOTAL_REGS],
     mem_img: MemoryImage,
     hier: DataHierarchy,
     mshrs: MshrFile,
@@ -65,6 +71,8 @@ pub struct Baseline<'p> {
     /// level)`. Populated only while a trace sink is attached.
     pending_misses: Vec<(u64, u64, MemLevel)>,
     breakdown: CycleBreakdown,
+    breakdown2: CauseBreakdown,
+    profile: StallProfile,
     mem_stats: MemAccessStats,
     branches: BranchStats,
 }
@@ -89,6 +97,8 @@ impl<'p> Baseline<'p> {
             regs: [0; TOTAL_REGS],
             ready_at: [0; TOTAL_REGS],
             pending_load: [false; TOTAL_REGS],
+            reg_cause: [StallCause::DepOther; TOTAL_REGS],
+            reg_pc: [0; TOTAL_REGS],
             mem_img: mem,
             hier,
             mshrs,
@@ -97,6 +107,8 @@ impl<'p> Baseline<'p> {
             halted: false,
             pending_misses: Vec::new(),
             breakdown: CycleBreakdown::new(),
+            breakdown2: CauseBreakdown::new(),
+            profile: StallProfile::new(),
             mem_stats: MemAccessStats::default(),
             branches: BranchStats::default(),
         }
@@ -134,37 +146,54 @@ impl<'p> Baseline<'p> {
         (self.into_report(), trace)
     }
 
+    /// Classifies a block on register index `idx`: the Figure-6 class
+    /// from the pending-producer kind, plus the refined cause and the
+    /// producer's pc recorded when the register was written.
+    fn reg_block(&self, idx: usize) -> (CycleClass, StallAttr) {
+        let class = if self.pending_load[idx] {
+            CycleClass::LoadStall
+        } else {
+            CycleClass::NonLoadDepStall
+        };
+        let attr = StallAttr::at(self.reg_cause[idx], self.reg_pc[idx]);
+        debug_assert_eq!(attr.cause.class(), class);
+        (class, attr)
+    }
+
     /// First blocking register of the group, if any: returns the stall
-    /// class implied by its pending producer.
-    fn group_block(&self, len: usize) -> Option<CycleClass> {
+    /// class implied by its pending producer, with the refined
+    /// attribution of the blocking producer.
+    fn group_block(&self, len: usize) -> Option<(CycleClass, StallAttr)> {
         for i in 0..len {
             let f = self.frontend.peek(i);
             for src in f.insn.sources() {
                 if self.ready_at[src.index()] > self.cycle {
-                    return Some(if self.pending_load[src.index()] {
-                        CycleClass::LoadStall
-                    } else {
-                        CycleClass::NonLoadDepStall
-                    });
+                    return Some(self.reg_block(src.index()));
                 }
             }
             // EPIC WAW: a destination still being produced stalls too.
             for d in f.insn.dests() {
                 if self.ready_at[d.index()] > self.cycle {
-                    return Some(if self.pending_load[d.index()] {
-                        CycleClass::LoadStall
-                    } else {
-                        CycleClass::NonLoadDepStall
-                    });
+                    return Some(self.reg_block(d.index()));
                 }
             }
         }
         None
     }
 
-    fn step_issue(&mut self, sink: &mut SinkHandle) -> CycleClass {
+    /// The refined front-end attribution for a cycle with no complete
+    /// issue group: refill penalty vs. fetch starvation.
+    fn frontend_attr(&self) -> StallAttr {
+        StallAttr::new(if self.frontend.is_refilling(self.cycle) {
+            StallCause::FeRefill
+        } else {
+            StallCause::FeEmpty
+        })
+    }
+
+    fn step_issue(&mut self, sink: &mut SinkHandle) -> (CycleClass, StallAttr) {
         let Some(group_len) = self.frontend.complete_group_len() else {
-            return CycleClass::FrontEndStall;
+            return (CycleClass::FrontEndStall, self.frontend_attr());
         };
 
         // Structural: split oversubscribed groups; the prefix issues now.
@@ -180,9 +209,12 @@ impl<'p> Baseline<'p> {
 
         // Conservative MSHR gate: a group containing a load needs room
         // for a possible fill.
-        let has_load = ops[..n].iter().any(Opcode::is_load);
-        if has_load && !self.mshrs.has_room(self.cycle) {
-            return CycleClass::ResourceStall;
+        let first_load = (0..n).find(|&i| ops[i].is_load());
+        if let Some(i) = first_load {
+            if !self.mshrs.has_room(self.cycle) {
+                let pc = self.frontend.peek(i).pc;
+                return (CycleClass::ResourceStall, StallAttr::at(StallCause::ResMshr, pc));
+            }
         }
 
         // Issue the prefix in order.
@@ -204,20 +236,25 @@ impl<'p> Baseline<'p> {
                 Effect::Nullified | Effect::Nop => {}
                 Effect::Write(writes) => {
                     let lat = op_latency(&f.insn.op, &self.cfg.latencies);
+                    let cause = StallCause::dep(f.insn.op.latency_class());
                     for w in writes.iter() {
                         self.regs[w.reg.index()] = w.bits;
                         self.ready_at[w.reg.index()] = self.cycle + lat;
                         self.pending_load[w.reg.index()] = false;
+                        self.reg_cause[w.reg.index()] = cause;
+                        self.reg_pc[w.reg.index()] = f.pc;
                     }
                 }
                 Effect::Load { addr, size, signed, dest } => {
                     let raw = self.mem_img.read(addr, size);
                     let out = self.hier.load(addr);
-                    let done = self.finish_load(addr, out.level, out.latency, sink);
+                    let (done, eff_level) = self.finish_load(addr, out.level, out.latency, sink);
                     self.mem_stats.record_load(Pipe::B, out.level, out.latency);
                     self.regs[dest.index()] = load_write(raw, size, signed);
                     self.ready_at[dest.index()] = done;
                     self.pending_load[dest.index()] = true;
+                    self.reg_cause[dest.index()] = StallCause::load(eff_level);
+                    self.reg_pc[dest.index()] = f.pc;
                 }
                 Effect::Store { addr, size, bits } => {
                     self.mem_img.write(addr, size, bits);
@@ -254,29 +291,31 @@ impl<'p> Baseline<'p> {
             sink.emit_with(|| TraceEvent::ARedirect { cycle: self.cycle, pc });
             self.frontend.redirect(pc, at);
         }
-        CycleClass::Unstalled
+        (CycleClass::Unstalled, StallAttr::new(StallCause::Issue))
     }
 
     /// Books a load's fill: L1 hits bypass the MSHRs; misses allocate or
-    /// merge. Returns the data-ready cycle.
+    /// merge. Returns the data-ready cycle and the hierarchy level the
+    /// data is *effectively* waiting on (a fill-clamped L1 hit reports
+    /// the in-flight fill's level, for stall attribution).
     fn finish_load(
         &mut self,
         addr: u64,
         level: MemLevel,
         latency: u64,
         sink: &mut SinkHandle,
-    ) -> u64 {
+    ) -> (u64, MemLevel) {
         let done = self.cycle + latency;
         let line = self.cfg.hierarchy.l2.line_of(addr);
         if level == MemLevel::L1 {
             // Tags fill at access time, so a "hit" may name a line whose
             // fill is still in flight: complete no earlier than the fill.
-            return match self.mshrs.pending(self.cycle, line) {
-                Some(fill_done) => fill_done.max(done),
-                None => done,
+            return match self.mshrs.pending_fill(self.cycle, line) {
+                Some((fill_done, fill_level)) if fill_done > done => (fill_done, fill_level),
+                _ => (done, MemLevel::L1),
             };
         }
-        let fill_at = self.mshrs.request(self.cycle, line, done).unwrap_or(done).max(done);
+        let fill_at = self.mshrs.request(self.cycle, line, done, level).unwrap_or(done).max(done);
         if sink.is_on() {
             sink.emit_with(|| TraceEvent::MissBegin {
                 cycle: self.cycle,
@@ -287,7 +326,7 @@ impl<'p> Baseline<'p> {
             });
             self.pending_misses.push((fill_at, addr, level));
         }
-        fill_at
+        (fill_at, level)
     }
 
     /// Updates branch statistics and the predictor; returns whether the
@@ -325,6 +364,8 @@ impl<'p> Baseline<'p> {
             cycles: self.cycle,
             retired: self.retired,
             breakdown: self.breakdown,
+            breakdown2: self.breakdown2,
+            stall_profile: self.profile,
             mem: self.mem_stats,
             branches: self.branches,
             hierarchy: *self.hier.stats(),
@@ -353,6 +394,7 @@ impl<'p> Baseline<'p> {
     fn run_loop(&mut self, max_instrs: u64, sink: &mut SinkHandle) {
         let cycle_cap = max_instrs.saturating_mul(500).max(1_000_000);
         let mut last_class: Option<CycleClass> = None;
+        let mut last_attr: Option<StallAttr> = None;
         while !self.halted && self.retired < max_instrs {
             assert!(
                 self.cycle < cycle_cap,
@@ -364,8 +406,12 @@ impl<'p> Baseline<'p> {
             if sink.is_on() {
                 self.drain_pending_misses(sink);
             }
-            let class = self.step_issue(sink);
+            let (class, attr) = self.step_issue(sink);
             self.breakdown.charge(class);
+            self.breakdown2.charge(attr.cause);
+            if let Some(pc) = attr.pc {
+                self.profile.record(pc, attr.cause);
+            }
             if sink.is_on() {
                 if last_class != Some(class) {
                     let from = last_class.unwrap_or(class);
@@ -375,6 +421,14 @@ impl<'p> Baseline<'p> {
                         to: class,
                     });
                     last_class = Some(class);
+                }
+                if last_attr != Some(attr) {
+                    sink.emit_with(|| TraceEvent::CauseTransition {
+                        cycle: self.cycle,
+                        cause: attr.cause,
+                        pc: attr.pc.map(|p| p as u64),
+                    });
+                    last_attr = Some(attr);
                 }
                 sink.emit_with(|| TraceEvent::QueueSample {
                     cycle: self.cycle,

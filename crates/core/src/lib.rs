@@ -30,7 +30,10 @@ pub mod sink;
 pub mod trace;
 pub mod two_pass;
 
-pub use accounting::{CycleBreakdown, CycleClass};
+pub use accounting::{
+    CauseBreakdown, CycleBreakdown, CycleClass, StallAttr, StallCause, StallProfile, StallSite,
+    N_CAUSES,
+};
 pub use baseline::Baseline;
 pub use config::{
     FeedbackLatency, FuSlots, MachineConfig, OpLatencies, ThrottleConfig, TwoPassConfig,

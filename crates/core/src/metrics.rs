@@ -297,6 +297,14 @@ impl MetricSource for crate::accounting::CycleBreakdown {
     }
 }
 
+impl MetricSource for crate::accounting::CauseBreakdown {
+    fn export_metrics(&self, m: &mut MetricsBuilder) {
+        for cause in crate::accounting::StallCause::ALL {
+            m.counter(cause.label(), self[cause]);
+        }
+    }
+}
+
 impl MetricSource for ff_mem::HierarchyStats {
     fn export_metrics(&self, m: &mut MetricsBuilder) {
         for level in ff_mem::MemLevel::ALL {
@@ -371,6 +379,35 @@ mod tests {
         assert!(p50 <= p99);
         assert!(p50 >= 49, "median of 0..100 is ~50, bound {p50}");
         assert_eq!(h.quantile_bound(0.0), 0);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_bound(q), 0, "q={q} of an empty histogram");
+        }
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.buckets().count(), 0);
+    }
+
+    #[test]
+    fn single_sample_quantiles_bound_the_sample() {
+        for v in [0u64, 1, 7, 1000] {
+            let mut h = Histogram::new();
+            h.observe(v);
+            for q in [0.0, 0.5, 1.0] {
+                let bound = h.quantile_bound(q);
+                assert!(bound >= v, "q={q}: bound {bound} must cover the only sample {v}");
+            }
+            // Bucket resolution: the bound never overshoots past the
+            // sample's own bucket.
+            let (_, hi, _) = h.buckets().next().unwrap();
+            assert!(h.quantile_bound(1.0) <= hi.max(v));
+            assert_eq!(h.mean(), v as f64);
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Simulation reports: everything the paper's figures are derived from.
 
-use crate::accounting::CycleBreakdown;
+use crate::accounting::{CauseBreakdown, CycleBreakdown, StallProfile};
 use crate::metrics::{Histogram, MetricSource, MetricsBuilder, MetricsSnapshot};
 use ff_mem::{AlatStats, HierarchyStats, MemLevel, MshrStats, StoreBufferStats};
 use serde::{Deserialize, Serialize};
@@ -218,6 +218,12 @@ pub struct SimReport {
     pub retired: u64,
     /// Per-class cycle accounting (Figure 6).
     pub breakdown: CycleBreakdown,
+    /// Refined per-cause cycle accounting; collapses onto `breakdown`
+    /// (see [`CauseBreakdown::collapse`]).
+    pub breakdown2: CauseBreakdown,
+    /// Per-PC stall attribution: which static instructions the machine
+    /// spent its stall cycles waiting on.
+    pub stall_profile: StallProfile,
     /// Initiated-access distribution (Figure 7).
     pub mem: MemAccessStats,
     /// Branch outcomes.
@@ -271,6 +277,7 @@ impl SimReport {
         let mut b = MetricsBuilder::new();
         b.counter("sim.cycles", self.cycles).counter("sim.retired", self.retired);
         b.scope("cycles", &self.breakdown)
+            .scope("stall.cause", &self.breakdown2)
             .scope("mem", &self.hierarchy)
             .scope("mshr", &self.mshr)
             .scope("branches", &self.branches)
@@ -377,6 +384,8 @@ mod tests {
             cycles,
             retired,
             breakdown: CycleBreakdown::new(),
+            breakdown2: CauseBreakdown::new(),
+            stall_profile: StallProfile::new(),
             mem: MemAccessStats::default(),
             branches: BranchStats::default(),
             hierarchy: HierarchyStats::default(),
@@ -446,6 +455,8 @@ mod tests {
         assert_eq!(r.metrics.counter("sim.cycles"), Some(10));
         assert_eq!(r.metrics.counter("two_pass.deferred"), Some(4));
         assert_eq!(r.metrics.counter("cycles.unstalled"), Some(0));
+        assert_eq!(r.metrics.counter("stall.cause.issue"), Some(0));
+        assert_eq!(r.metrics.counter("stall.cause.load.mem"), Some(0));
         assert_eq!(r.metrics.histogram("two_pass.queue_depth").unwrap().count(), 1);
         // Baseline reports omit the two-pass scopes entirely.
         let mut base = empty_report(ModelKind::Baseline, 5, 5);

@@ -15,7 +15,9 @@
 //! trained only by architectural execution; exit charges a small
 //! restart penalty plus a front-end refill.
 
-use crate::accounting::{CycleBreakdown, CycleClass};
+use crate::accounting::{
+    CauseBreakdown, CycleBreakdown, CycleClass, StallAttr, StallCause, StallProfile,
+};
 use crate::config::MachineConfig;
 use crate::exec_common::{fitting_prefix, op_latency};
 use crate::frontend::{Frontend, FrontendConfig};
@@ -80,6 +82,14 @@ pub struct Runahead<'p> {
     /// level)`. Populated only while a trace sink is attached.
     pending_misses: Vec<(u64, u64, MemLevel)>,
     breakdown: CycleBreakdown,
+    /// Refined per-cause accounting (collapses onto `breakdown`).
+    breakdown2: CauseBreakdown,
+    /// Per-PC stall attribution for the profile table.
+    profile: StallProfile,
+    /// Refined stall cause most recently charged to each register.
+    reg_cause: [StallCause; TOTAL_REGS],
+    /// PC of the instruction that last wrote each register.
+    reg_pc: [usize; TOTAL_REGS],
     mem_stats: MemAccessStats,
     branches: BranchStats,
     ra: Option<RaMode>,
@@ -106,6 +116,9 @@ struct RaMode {
     /// `discarded_instrs` at episode entry, so the exit event can report
     /// how many speculative instructions this episode threw away.
     discarded_at_entry: u64,
+    /// Attribution of the blocking load captured at entry: every cycle of
+    /// the episode is charged to the load the machine is stalled on.
+    attr: StallAttr,
 }
 
 impl RaMode {
@@ -153,6 +166,10 @@ impl<'p> Runahead<'p> {
             halted: false,
             pending_misses: Vec::new(),
             breakdown: CycleBreakdown::new(),
+            breakdown2: CauseBreakdown::new(),
+            profile: StallProfile::new(),
+            reg_cause: [StallCause::DepOther; TOTAL_REGS],
+            reg_pc: [0; TOTAL_REGS],
             mem_stats: MemAccessStats::default(),
             branches: BranchStats::default(),
             ra: None,
@@ -202,6 +219,7 @@ impl<'p> Runahead<'p> {
     fn run_loop(&mut self, max_instrs: u64, sink: &mut SinkHandle) {
         let cycle_cap = max_instrs.saturating_mul(500).max(1_000_000);
         let mut last_class: Option<CycleClass> = None;
+        let mut last_attr: Option<StallAttr> = None;
         while !self.halted && self.retired < max_instrs {
             assert!(
                 self.cycle < cycle_cap,
@@ -213,8 +231,13 @@ impl<'p> Runahead<'p> {
             if sink.is_on() {
                 self.drain_pending_misses(sink);
             }
-            let class = if self.ra.is_some() { self.ra_step(sink) } else { self.normal_step(sink) };
+            let (class, attr) =
+                if self.ra.is_some() { self.ra_step(sink) } else { self.normal_step(sink) };
             self.breakdown.charge(class);
+            self.breakdown2.charge(attr.cause);
+            if let Some(pc) = attr.pc {
+                self.profile.record(pc, attr.cause);
+            }
             if sink.is_on() {
                 if last_class != Some(class) {
                     let from = last_class.unwrap_or(class);
@@ -224,6 +247,14 @@ impl<'p> Runahead<'p> {
                         to: class,
                     });
                     last_class = Some(class);
+                }
+                if last_attr != Some(attr) {
+                    sink.emit_with(|| TraceEvent::CauseTransition {
+                        cycle: self.cycle,
+                        cause: attr.cause,
+                        pc: attr.pc.map(|p| p as u64),
+                    });
+                    last_attr = Some(attr);
                 }
                 sink.emit_with(|| TraceEvent::QueueSample {
                     cycle: self.cycle,
@@ -256,40 +287,56 @@ impl<'p> Runahead<'p> {
         }
     }
 
+    /// Refined attribution for a front-end stall cycle: an in-progress
+    /// refill (redirect / icache miss) versus a simply empty buffer.
+    fn frontend_attr(&self) -> StallAttr {
+        if self.frontend.is_refilling(self.cycle) {
+            StallAttr::new(StallCause::FeRefill)
+        } else {
+            StallAttr::new(StallCause::FeEmpty)
+        }
+    }
+
     /// Normal-mode issue: identical to the baseline, except a load-use
     /// stall flips the machine into runahead instead of idling.
-    fn normal_step(&mut self, sink: &mut SinkHandle) -> CycleClass {
+    fn normal_step(&mut self, sink: &mut SinkHandle) -> (CycleClass, StallAttr) {
         let Some(group_len) = self.frontend.complete_group_len() else {
-            return CycleClass::FrontEndStall;
+            return (CycleClass::FrontEndStall, self.frontend_attr());
         };
 
         // Dependence check at issue-group granularity.
-        let mut block: Option<(CycleClass, usize, u64)> = None;
+        let mut block: Option<(CycleClass, usize, u64, StallAttr)> = None;
         'outer: for i in 0..group_len {
             let f = self.frontend.peek(i);
             for reg in f.insn.sources().into_iter().chain(f.insn.dests()) {
-                if self.ready_at[reg.index()] > self.cycle {
-                    let class = if self.pending_load[reg.index()] {
+                let idx = reg.index();
+                if self.ready_at[idx] > self.cycle {
+                    let class = if self.pending_load[idx] {
                         CycleClass::LoadStall
                     } else {
                         CycleClass::NonLoadDepStall
                     };
-                    block = Some((class, f.pc, self.ready_at[reg.index()]));
+                    let attr = StallAttr::at(self.reg_cause[idx], self.reg_pc[idx]);
+                    debug_assert_eq!(attr.cause.class(), class);
+                    block = Some((class, f.pc, self.ready_at[idx], attr));
                     break 'outer;
                 }
             }
         }
-        if let Some((class, stall_pc, until)) = block {
+        if let Some((class, stall_pc, until, attr)) = block {
             if class == CycleClass::LoadStall {
-                self.enter_runahead(stall_pc, until, sink);
+                self.enter_runahead(stall_pc, until, attr, sink);
             }
-            return class;
+            return (class, attr);
         }
 
         let ops: Vec<Opcode> = (0..group_len).map(|i| self.frontend.peek(i).insn.op).collect();
         let n = fitting_prefix(ops.iter(), &self.cfg.fu_slots, self.cfg.issue_width);
-        if ops[..n].iter().any(Opcode::is_load) && !self.mshrs.has_room(self.cycle) {
-            return CycleClass::ResourceStall;
+        if let Some(i) = (0..n).find(|&i| ops[i].is_load()) {
+            if !self.mshrs.has_room(self.cycle) {
+                let pc = self.frontend.peek(i).pc;
+                return (CycleClass::ResourceStall, StallAttr::at(StallCause::ResMshr, pc));
+            }
         }
 
         let head_seq = self.frontend.peek(0).seq;
@@ -309,20 +356,26 @@ impl<'p> Runahead<'p> {
                 Effect::Nullified | Effect::Nop => {}
                 Effect::Write(writes) => {
                     let lat = op_latency(&f.insn.op, &self.cfg.latencies);
+                    let cause = StallCause::dep(f.insn.op.latency_class());
                     for w in writes.iter() {
                         self.regs[w.reg.index()] = w.bits;
                         self.ready_at[w.reg.index()] = self.cycle + lat;
                         self.pending_load[w.reg.index()] = false;
+                        self.reg_cause[w.reg.index()] = cause;
+                        self.reg_pc[w.reg.index()] = f.pc;
                     }
                 }
                 Effect::Load { addr, size, signed, dest } => {
                     let raw = self.mem_img.read(addr, size);
                     let out = self.hier.load(addr);
-                    let done = self.book_load(addr, out.level, out.latency, Pipe::B, sink);
+                    let (done, eff_level) =
+                        self.book_load(addr, out.level, out.latency, Pipe::B, sink);
                     self.mem_stats.record_load(Pipe::B, out.level, out.latency);
                     self.regs[dest.index()] = load_write(raw, size, signed);
                     self.ready_at[dest.index()] = done;
                     self.pending_load[dest.index()] = true;
+                    self.reg_cause[dest.index()] = StallCause::load(eff_level);
+                    self.reg_pc[dest.index()] = f.pc;
                 }
                 Effect::Store { addr, size, bits } => {
                     self.mem_img.write(addr, size, bits);
@@ -363,10 +416,16 @@ impl<'p> Runahead<'p> {
             sink.emit_with(|| TraceEvent::ARedirect { cycle: self.cycle, pc });
             self.frontend.redirect(pc, at);
         }
-        CycleClass::Unstalled
+        (CycleClass::Unstalled, StallAttr::new(StallCause::Issue))
     }
 
-    fn enter_runahead(&mut self, stall_pc: usize, until: u64, sink: &mut SinkHandle) {
+    fn enter_runahead(
+        &mut self,
+        stall_pc: usize,
+        until: u64,
+        attr: StallAttr,
+        sink: &mut SinkHandle,
+    ) {
         self.ra_stats.episodes += 1;
         sink.emit_with(|| TraceEvent::RunaheadEnter { cycle: self.cycle, pc: stall_pc });
         self.ra = Some(RaMode {
@@ -378,15 +437,17 @@ impl<'p> Runahead<'p> {
             stores: HashMap::new(),
             done: false,
             discarded_at_entry: self.ra_stats.discarded_instrs,
+            attr,
         });
     }
 
     /// One cycle of runahead pre-execution. Architecturally the machine
     /// is still stalled on the blocking load, so the cycle is charged as
     /// a load stall.
-    fn ra_step(&mut self, sink: &mut SinkHandle) -> CycleClass {
+    fn ra_step(&mut self, sink: &mut SinkHandle) -> (CycleClass, StallAttr) {
         let mut ra = self.ra.take().expect("in runahead mode");
         self.ra_stats.runahead_cycles += 1;
+        let attr = ra.attr;
 
         if self.cycle >= ra.until {
             // Blocking load returned: restore the checkpoint and refetch
@@ -397,14 +458,14 @@ impl<'p> Runahead<'p> {
                 discarded: self.ra_stats.discarded_instrs - ra.discarded_at_entry,
             });
             self.frontend.redirect(ra.resume_pc, self.cycle + EXIT_PENALTY);
-            return CycleClass::LoadStall;
+            return (CycleClass::LoadStall, attr);
         }
 
         if !ra.done {
             self.ra_issue(&mut ra, sink);
         }
         self.ra = Some(ra);
-        CycleClass::LoadStall
+        (CycleClass::LoadStall, attr)
     }
 
     /// Issues one group speculatively under INV semantics.
@@ -449,7 +510,7 @@ impl<'p> Runahead<'p> {
                         // The whole point: initiate the miss early.
                         let raw = ra.read_mem(&self.mem_img, addr, size);
                         let out = self.hier.load(addr);
-                        let done = self.book_load(addr, out.level, out.latency, Pipe::A, sink);
+                        let (done, _) = self.book_load(addr, out.level, out.latency, Pipe::A, sink);
                         self.mem_stats.record_load(Pipe::A, out.level, out.latency);
                         self.ra_stats.runahead_loads += 1;
                         ra.regs[dest.index()] = load_write(raw, size, signed);
@@ -492,6 +553,9 @@ impl<'p> Runahead<'p> {
         }
     }
 
+    /// Books a load against the MSHRs, returning its completion cycle and
+    /// the *effective* level the consumer would wait on (a fill-clamped L1
+    /// hit is really waiting on the in-flight fill's level).
     fn book_load(
         &mut self,
         addr: u64,
@@ -499,18 +563,18 @@ impl<'p> Runahead<'p> {
         latency: u64,
         pipe: Pipe,
         sink: &mut SinkHandle,
-    ) -> u64 {
+    ) -> (u64, MemLevel) {
         let done = self.cycle + latency;
         let line = self.cfg.hierarchy.l2.line_of(addr);
         if level == MemLevel::L1 {
             // Tags fill at access time, so a "hit" may name a line whose
             // fill is still in flight: complete no earlier than the fill.
-            return match self.mshrs.pending(self.cycle, line) {
-                Some(fill_done) => fill_done.max(done),
-                None => done,
+            return match self.mshrs.pending_fill(self.cycle, line) {
+                Some((fill_done, fill_level)) if fill_done > done => (fill_done, fill_level),
+                _ => (done, MemLevel::L1),
             };
         }
-        let fill_at = self.mshrs.request(self.cycle, line, done).unwrap_or(done).max(done);
+        let fill_at = self.mshrs.request(self.cycle, line, done, level).unwrap_or(done).max(done);
         if sink.is_on() {
             sink.emit_with(|| TraceEvent::MissBegin {
                 cycle: self.cycle,
@@ -521,7 +585,7 @@ impl<'p> Runahead<'p> {
             });
             self.pending_misses.push((fill_at, addr, level));
         }
-        fill_at
+        (fill_at, level)
     }
 
     /// Runahead-specific statistics.
@@ -536,6 +600,8 @@ impl<'p> Runahead<'p> {
             cycles: self.cycle,
             retired: self.retired,
             breakdown: self.breakdown,
+            breakdown2: self.breakdown2,
+            stall_profile: self.profile,
             mem: self.mem_stats,
             branches: self.branches,
             hierarchy: *self.hier.stats(),
@@ -641,9 +707,10 @@ mod tests {
         let mut off = SinkHandle::off();
         while !sim.halted && guard < 1_000_000 {
             sim.frontend.tick(sim.cycle);
-            let class =
+            let (class, attr) =
                 if sim.ra.is_some() { sim.ra_step(&mut off) } else { sim.normal_step(&mut off) };
             sim.breakdown.charge(class);
+            sim.breakdown2.charge(attr.cause);
             sim.cycle += 1;
             guard += 1;
         }

@@ -102,19 +102,24 @@ impl TraceSink for RingSink {
 
 /// Streams each event as one JSON object per line (JSONL).
 ///
-/// Writing is buffered internally; call [`TraceSink::finish`] (done
-/// automatically by `run_with_sink`) or drop the sink to flush.
+/// Writing goes through an internal [`io::BufWriter`]; buffered lines
+/// are flushed by [`TraceSink::finish`] (done automatically by
+/// `run_with_sink`), by [`JsonlSink::into_inner`], and — so a panic or
+/// an early return cannot truncate the tail of a trace — by `Drop`.
 #[derive(Debug)]
 pub struct JsonlSink<W: io::Write> {
-    out: io::BufWriter<W>,
+    /// `None` only after [`JsonlSink::into_inner`] moved the writer out
+    /// (so `Drop` has nothing left to flush).
+    out: Option<io::BufWriter<W>>,
     written: u64,
     errored: bool,
 }
 
 impl<W: io::Write> JsonlSink<W> {
-    /// Wraps a writer. Lines are flushed on [`TraceSink::finish`].
+    /// Wraps a writer. Lines are flushed on [`TraceSink::finish`] and
+    /// on drop.
     pub fn new(out: W) -> Self {
-        Self { out: io::BufWriter::new(out), written: 0, errored: false }
+        Self { out: Some(io::BufWriter::new(out)), written: 0, errored: false }
     }
 
     /// Number of events successfully serialized.
@@ -132,8 +137,9 @@ impl<W: io::Write> JsonlSink<W> {
     /// Flushes and returns the underlying writer.
     pub fn into_inner(mut self) -> io::Result<W> {
         use io::Write as _;
-        self.out.flush()?;
-        self.out.into_inner().map_err(|e| io::Error::other(e.to_string()))
+        let mut out = self.out.take().expect("writer present until into_inner");
+        out.flush()?;
+        out.into_inner().map_err(|e| io::Error::other(e.to_string()))
     }
 }
 
@@ -143,11 +149,12 @@ impl<W: io::Write> TraceSink for JsonlSink<W> {
             return;
         }
         use io::Write as _;
+        let Some(out) = self.out.as_mut() else { return };
         let Ok(line) = serde_json::to_string(&e) else {
             self.errored = true;
             return;
         };
-        if writeln!(self.out, "{line}").is_err() {
+        if writeln!(out, "{line}").is_err() {
             self.errored = true;
             return;
         }
@@ -156,7 +163,18 @@ impl<W: io::Write> TraceSink for JsonlSink<W> {
 
     fn finish(&mut self) {
         use io::Write as _;
-        let _ = self.out.flush();
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.flush();
+        }
+    }
+}
+
+impl<W: io::Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        use io::Write as _;
+        if let Some(out) = self.out.as_mut() {
+            let _ = out.flush();
+        }
     }
 }
 
@@ -250,6 +268,34 @@ mod tests {
     }
 
     #[test]
+    fn ring_sink_capacity_one_wraps_indefinitely() {
+        let mut ring = RingSink::new(1);
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+        for c in 0..1000 {
+            ring.emit(ev(c));
+        }
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.dropped(), 999);
+        assert_eq!(ring.events().next().unwrap().cycle(), 999);
+        let trace = ring.into_trace();
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn ring_sink_wraps_exactly_at_capacity_boundary() {
+        let mut ring = RingSink::new(4);
+        for c in 0..4 {
+            ring.emit(ev(c));
+        }
+        assert_eq!(ring.dropped(), 0, "nothing dropped while at capacity");
+        ring.emit(ev(4));
+        assert_eq!(ring.dropped(), 1, "first eviction exactly one past capacity");
+        let cycles: Vec<u64> = ring.events().map(TraceEvent::cycle).collect();
+        assert_eq!(cycles, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
     fn jsonl_round_trips_every_variant() {
         use crate::accounting::CycleClass;
         use crate::report::Pipe;
@@ -265,6 +311,16 @@ mod tests {
                 cycle: 8,
                 from: CycleClass::Unstalled,
                 to: CycleClass::LoadStall,
+            },
+            TraceEvent::CauseTransition {
+                cycle: 8,
+                cause: crate::accounting::StallCause::LoadL2,
+                pc: Some(3),
+            },
+            TraceEvent::CauseTransition {
+                cycle: 8,
+                cause: crate::accounting::StallCause::FeRefill,
+                pc: None,
             },
             TraceEvent::MissBegin {
                 cycle: 9,
@@ -289,6 +345,49 @@ mod tests {
         let text = String::from_utf8(bytes).unwrap();
         let parsed: Vec<TraceEvent> = text.lines().map(|l| parse_jsonl_line(l).unwrap()).collect();
         assert_eq!(parsed, events);
+    }
+
+    /// A writer whose backing store outlives the sink, to observe what
+    /// reached it and when.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+
+    impl io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.borrow_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_buffers_writes_and_flushes_on_drop() {
+        let shared = SharedBuf::default();
+        {
+            let mut sink = JsonlSink::new(shared.clone());
+            sink.emit(ev(1));
+            assert_eq!(sink.written(), 1);
+            // The event sits in the internal BufWriter: nothing has
+            // reached the underlying writer yet.
+            assert!(shared.0.borrow().is_empty(), "JsonlSink must buffer its writes");
+        }
+        // Dropping the sink (no finish, no into_inner) flushed the tail.
+        let text = String::from_utf8(shared.0.borrow().clone()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        let parsed = parse_jsonl_line(text.lines().next().unwrap()).unwrap();
+        assert_eq!(parsed, ev(1));
+    }
+
+    #[test]
+    fn jsonl_sink_finish_flushes_without_consuming() {
+        let shared = SharedBuf::default();
+        let mut sink = JsonlSink::new(shared.clone());
+        sink.emit(ev(7));
+        sink.finish();
+        assert_eq!(String::from_utf8(shared.0.borrow().clone()).unwrap().lines().count(), 1);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! (`run_traced` / `run_with_sink` on each model) and costs one
 //! branch-on-None per probe when off.
 
-use crate::accounting::CycleClass;
+use crate::accounting::{CycleClass, StallCause};
 use crate::report::Pipe;
 use ff_mem::MemLevel;
 use serde::{Deserialize, Serialize};
@@ -102,6 +102,19 @@ pub enum TraceEvent {
         /// Class charged from this cycle on.
         to: CycleClass,
     },
+    /// The architectural pipe's refined stall attribution changed.
+    ///
+    /// Emitted alongside [`TraceEvent::ClassTransition`], but also fires
+    /// when only the *cause* or the blamed *pc* changes within one class
+    /// (e.g. a load stall migrating from one static load to the next).
+    CauseTransition {
+        /// First cycle charged to the new attribution.
+        cycle: u64,
+        /// Cause charged from this cycle on.
+        cause: StallCause,
+        /// Static pc of the blocking instruction, when one exists.
+        pc: Option<u64>,
+    },
     /// A demand access missed a cache level and booked a fill.
     MissBegin {
         /// Cycle the miss was initiated.
@@ -163,6 +176,7 @@ impl TraceEvent {
             | TraceEvent::ARedirect { cycle, .. }
             | TraceEvent::GroupDispatch { cycle, .. }
             | TraceEvent::ClassTransition { cycle, .. }
+            | TraceEvent::CauseTransition { cycle, .. }
             | TraceEvent::MissBegin { cycle, .. }
             | TraceEvent::MissEnd { cycle, .. }
             | TraceEvent::QueueSample { cycle, .. }
@@ -205,6 +219,13 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::ClassTransition { from, to, .. } => {
                 write!(f, "{:<12} {} -> {}", "class", from.label(), to.label())
+            }
+            TraceEvent::CauseTransition { cause, pc, .. } => {
+                write!(f, "{:<12} {}", "cause", cause.label())?;
+                if let Some(pc) = pc {
+                    write!(f, " pc={pc}")?;
+                }
+                Ok(())
             }
             TraceEvent::MissBegin { pipe, level, addr, fill_at, .. } => {
                 write!(
@@ -444,17 +465,18 @@ mod tests {
                 from: CycleClass::Unstalled,
                 to: CycleClass::LoadStall,
             },
+            TraceEvent::CauseTransition { cycle: 7, cause: StallCause::LoadMem, pc: Some(4) },
             TraceEvent::MissBegin {
-                cycle: 7,
+                cycle: 8,
                 pipe: Pipe::B,
                 level: MemLevel::Mem,
                 addr: 0,
                 fill_at: 152,
             },
-            TraceEvent::MissEnd { cycle: 8, addr: 0, level: MemLevel::Mem },
-            TraceEvent::QueueSample { cycle: 9, depth: 0, mshr: 0 },
-            TraceEvent::RunaheadEnter { cycle: 10, pc: 0 },
-            TraceEvent::RunaheadExit { cycle: 11, pc: 0, discarded: 5 },
+            TraceEvent::MissEnd { cycle: 9, addr: 0, level: MemLevel::Mem },
+            TraceEvent::QueueSample { cycle: 10, depth: 0, mshr: 0 },
+            TraceEvent::RunaheadEnter { cycle: 11, pc: 0 },
+            TraceEvent::RunaheadExit { cycle: 12, pc: 0, discarded: 5 },
         ];
         for (i, e) in events.iter().enumerate() {
             assert_eq!(e.cycle(), i as u64 + 1);

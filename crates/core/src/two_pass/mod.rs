@@ -26,7 +26,9 @@
 pub mod afile;
 pub mod queue;
 
-use crate::accounting::{CycleBreakdown, CycleClass};
+use crate::accounting::{
+    CauseBreakdown, CycleBreakdown, CycleClass, StallAttr, StallCause, StallProfile,
+};
 use crate::config::{FeedbackLatency, MachineConfig};
 use crate::exec_common::{fitting_prefix, op_latency};
 use crate::frontend::{FetchedInsn, Frontend, FrontendConfig};
@@ -89,6 +91,10 @@ pub struct TwoPass<'p> {
     b_ready: [u64; TOTAL_REGS],
     /// Whether the pending B-side producer is a load.
     b_pending_load: [bool; TOTAL_REGS],
+    /// Refined stall cause most recently charged to each B-file register.
+    b_cause: [StallCause; TOTAL_REGS],
+    /// PC of the instruction that last wrote each B-file register.
+    b_pc: [usize; TOTAL_REGS],
     mem_img: MemoryImage,
     hier: DataHierarchy,
     mshrs: MshrFile,
@@ -110,6 +116,10 @@ pub struct TwoPass<'p> {
     /// level)`. Populated only while a trace sink is attached.
     pending_misses: Vec<(u64, u64, MemLevel)>,
     breakdown: CycleBreakdown,
+    /// Refined per-cause accounting (collapses onto `breakdown`).
+    breakdown2: CauseBreakdown,
+    /// Per-PC stall attribution for the profile table.
+    profile: StallProfile,
     mem_stats: MemAccessStats,
     branches: BranchStats,
     stats: TwoPassStats,
@@ -139,6 +149,8 @@ impl<'p> TwoPass<'p> {
             b_regs: [0; TOTAL_REGS],
             b_ready: [0; TOTAL_REGS],
             b_pending_load: [false; TOTAL_REGS],
+            b_cause: [StallCause::DepOther; TOTAL_REGS],
+            b_pc: [0; TOTAL_REGS],
             mem_img: mem,
             hier,
             mshrs,
@@ -155,6 +167,8 @@ impl<'p> TwoPass<'p> {
             throttled: false,
             pending_misses: Vec::new(),
             breakdown: CycleBreakdown::new(),
+            breakdown2: CauseBreakdown::new(),
+            profile: StallProfile::new(),
             mem_stats: MemAccessStats::default(),
             branches: BranchStats::default(),
             stats: TwoPassStats::default(),
@@ -217,6 +231,7 @@ impl<'p> TwoPass<'p> {
         // must surface as a panic, not a hang.
         let cycle_cap = max_instrs.saturating_mul(500).max(1_000_000);
         let mut last_class: Option<CycleClass> = None;
+        let mut last_attr: Option<StallAttr> = None;
         while !self.halted && self.retired < max_instrs {
             assert!(
                 self.cycle < cycle_cap,
@@ -232,11 +247,15 @@ impl<'p> TwoPass<'p> {
             if sink.is_on() {
                 self.drain_pending_misses(sink);
             }
-            let class = self.b_step(sink);
+            let (class, attr) = self.b_step(sink);
             if !self.halted {
                 self.a_step(sink);
             }
             self.breakdown.charge(class);
+            self.breakdown2.charge(attr.cause);
+            if let Some(pc) = attr.pc {
+                self.profile.record(pc, attr.cause);
+            }
             self.stats.queue_occupancy_sum += self.cq.len() as u64;
             self.stats.queue_depth_hist.observe(self.cq.len() as u64);
             if sink.is_on() {
@@ -248,6 +267,14 @@ impl<'p> TwoPass<'p> {
                         to: class,
                     });
                     last_class = Some(class);
+                }
+                if last_attr != Some(attr) {
+                    sink.emit_with(|| TraceEvent::CauseTransition {
+                        cycle: self.cycle,
+                        cause: attr.cause,
+                        pc: attr.pc.map(|p| p as u64),
+                    });
+                    last_attr = Some(attr);
                 }
                 sink.emit_with(|| TraceEvent::QueueSample {
                     cycle: self.cycle,
@@ -288,6 +315,8 @@ impl<'p> TwoPass<'p> {
             cycles: self.cycle,
             retired: self.retired,
             breakdown: self.breakdown,
+            breakdown2: self.breakdown2,
+            stall_profile: self.profile,
             mem: self.mem_stats,
             branches: self.branches,
             hierarchy: *self.hier.stats(),
@@ -329,43 +358,64 @@ impl<'p> TwoPass<'p> {
     /// Dependence/dangling/structural check over the first `len` queue
     /// entries as one issue bundle. `None` means the bundle can issue
     /// whole. Otherwise reports the index of the first blocked entry,
-    /// the stall class, and whether the block is *internal* — a
+    /// the stall class, whether the block is *internal* — a
     /// dependence on a deferred bundle peer, which time will not resolve
     /// (the bundle must split there) — or *external* (stall the group,
-    /// EPIC-style).
-    fn bundle_block(&self, len: usize) -> Option<(usize, CycleClass, bool)> {
+    /// EPIC-style), and the refined attribution of the blocking producer.
+    fn bundle_block(&self, len: usize) -> Option<(usize, CycleClass, bool, StallAttr)> {
         let now = self.cycle;
         // Registers written by earlier entries of this bundle:
-        // `true` = available at merge time (pre-executed), `false` =
-        // produced later this cycle (deferred) and unusable by bundle
-        // peers.
-        let mut written: Vec<(usize, bool)> = Vec::new();
-        let avail = |written: &[(usize, bool)], idx: usize| {
-            written.iter().rev().find(|(r, _)| *r == idx).map(|&(_, a)| a)
+        // `avail = true` means available at merge time (pre-executed),
+        // `false` means produced later this cycle (deferred) and unusable
+        // by bundle peers. The writer's pc and refined cause ride along
+        // for attribution.
+        struct BundleWrite {
+            reg: usize,
+            avail: bool,
+            pc: usize,
+            cause: StallCause,
+        }
+        let mut written: Vec<BundleWrite> = Vec::new();
+        let find = |written: &[BundleWrite], idx: usize| {
+            written.iter().rev().position(|w| w.reg == idx).map(|p| written.len() - 1 - p)
         };
         for i in 0..len {
             let e = self.cq.get(i).expect("bundle in range");
             match e.state {
-                CqState::Executed { ready_at, pending_load, writes, .. } => {
+                CqState::Executed { ready_at, pending_load, writes, load, .. } => {
                     if ready_at > now {
                         let class = if pending_load {
                             CycleClass::LoadStall
                         } else {
                             CycleClass::NonLoadDepStall
                         };
-                        return Some((i, class, false));
+                        let cause = if pending_load {
+                            StallCause::load(load.map_or(MemLevel::L1, |li| li.level))
+                        } else {
+                            StallCause::dep(e.insn.op.latency_class())
+                        };
+                        let attr = StallAttr::at(cause, e.pc);
+                        debug_assert_eq!(attr.cause.class(), class);
+                        return Some((i, class, false, attr));
                     }
                     for w in writes.iter() {
-                        written.push((w.reg.index(), true));
+                        written.push(BundleWrite {
+                            reg: w.reg.index(),
+                            avail: true,
+                            pc: e.pc,
+                            cause: StallCause::dep(e.insn.op.latency_class()),
+                        });
                     }
                 }
                 CqState::Deferred => {
                     for src in e.insn.sources() {
                         let idx = src.index();
-                        match avail(&written, idx) {
-                            Some(true) => {}
-                            Some(false) => {
-                                return Some((i, CycleClass::NonLoadDepStall, true));
+                        match find(&written, idx) {
+                            Some(w) if written[w].avail => {}
+                            Some(w) => {
+                                let attr = StallAttr::at(written[w].cause, written[w].pc);
+                                debug_assert_eq!(attr.cause.class(), CycleClass::NonLoadDepStall);
+                                return Some((i, CycleClass::NonLoadDepStall, true, attr));
                             }
                             None => {
                                 if self.b_ready[idx] > now {
@@ -374,23 +424,35 @@ impl<'p> TwoPass<'p> {
                                     } else {
                                         CycleClass::NonLoadDepStall
                                     };
-                                    return Some((i, class, false));
+                                    let attr = StallAttr::at(self.b_cause[idx], self.b_pc[idx]);
+                                    debug_assert_eq!(attr.cause.class(), class);
+                                    return Some((i, class, false, attr));
                                 }
                             }
                         }
                     }
                     if e.insn.op.is_load() && !self.mshrs.has_room(now) {
-                        return Some((i, CycleClass::ResourceStall, false));
+                        let attr = StallAttr::at(StallCause::ResMshr, e.pc);
+                        return Some((i, CycleClass::ResourceStall, false, attr));
                     }
                     // WAW against a deferred peer also forces a split:
                     // sequential apply order must be preserved in time.
                     for d in e.insn.dests() {
-                        if avail(&written, d.index()) == Some(false) {
-                            return Some((i, CycleClass::NonLoadDepStall, true));
+                        if let Some(w) = find(&written, d.index()) {
+                            if !written[w].avail {
+                                let attr = StallAttr::at(written[w].cause, written[w].pc);
+                                debug_assert_eq!(attr.cause.class(), CycleClass::NonLoadDepStall);
+                                return Some((i, CycleClass::NonLoadDepStall, true, attr));
+                            }
                         }
                     }
                     for d in e.insn.dests() {
-                        written.push((d.index(), false));
+                        written.push(BundleWrite {
+                            reg: d.index(),
+                            avail: false,
+                            pc: e.pc,
+                            cause: StallCause::dep(e.insn.op.latency_class()),
+                        });
                     }
                 }
             }
@@ -398,7 +460,7 @@ impl<'p> TwoPass<'p> {
         None
     }
 
-    fn b_step(&mut self, sink: &mut SinkHandle) -> CycleClass {
+    fn b_step(&mut self, sink: &mut SinkHandle) -> (CycleClass, StallAttr) {
         let glen = match self.cq.head_group_len(self.cycle) {
             Some(g) => g,
             // A group larger than the coupling queue can never present a
@@ -413,12 +475,12 @@ impl<'p> TwoPass<'p> {
             None => {
                 // Nothing consumable: starving on fetch, or waiting for
                 // the A-pipe's one-cycle head start.
-                return if self.frontend.is_refilling(self.cycle)
-                    || self.frontend.complete_group_len().is_none()
-                {
-                    CycleClass::FrontEndStall
+                return if self.frontend.is_refilling(self.cycle) {
+                    (CycleClass::FrontEndStall, StallAttr::new(StallCause::FeRefill))
+                } else if self.frontend.complete_group_len().is_none() {
+                    (CycleClass::FrontEndStall, StallAttr::new(StallCause::FeEmpty))
                 } else {
-                    CycleClass::APipeStall
+                    (CycleClass::APipeStall, StallAttr::new(StallCause::APipe))
                 };
             }
         };
@@ -427,9 +489,9 @@ impl<'p> TwoPass<'p> {
         // alone would never resolve it; an external one stalls the whole
         // group at EPIC issue-group granularity.
         let mut issue_len = glen;
-        if let Some((idx, stall, internal)) = self.bundle_block(glen) {
+        if let Some((idx, stall, internal, attr)) = self.bundle_block(glen) {
             if !internal || idx == 0 {
-                return stall;
+                return (stall, attr);
             }
             issue_len = idx;
         }
@@ -483,7 +545,7 @@ impl<'p> TwoPass<'p> {
         if let Some(plan) = flush {
             self.do_flush(plan, sink);
         }
-        CycleClass::Unstalled
+        (CycleClass::Unstalled, StallAttr::new(StallCause::Issue))
     }
 
     /// Retires one queue entry into architectural state. Returns `true`
@@ -507,11 +569,14 @@ impl<'p> TwoPass<'p> {
         }
         match entry.state {
             CqState::Executed { writes, load, store, branch, .. } => {
+                let cause = StallCause::dep(entry.insn.op.latency_class());
                 for w in writes.iter() {
                     let idx = w.reg.index();
                     self.b_regs[idx] = w.bits;
                     self.b_ready[idx] = self.cycle;
                     self.b_pending_load[idx] = false;
+                    self.b_cause[idx] = cause;
+                    self.b_pc[idx] = entry.pc;
                     self.push_feedback(w.reg, entry.seq, w.bits, self.cycle);
                 }
                 if let Some(li) = load {
@@ -564,23 +629,28 @@ impl<'p> TwoPass<'p> {
             Effect::Nullified | Effect::Nop => {}
             Effect::Write(writes) => {
                 let lat = op_latency(&entry.insn.op, &self.cfg.latencies);
+                let cause = StallCause::dep(entry.insn.op.latency_class());
                 for w in writes.iter() {
                     let idx = w.reg.index();
                     self.b_regs[idx] = w.bits;
                     self.b_ready[idx] = self.cycle + lat;
                     self.b_pending_load[idx] = false;
+                    self.b_cause[idx] = cause;
+                    self.b_pc[idx] = entry.pc;
                     self.push_feedback(w.reg, entry.seq, w.bits, self.cycle + lat);
                 }
             }
             Effect::Load { addr, size, signed, dest } => {
                 let raw = self.mem_img.read(addr, size);
                 let out = self.hier.load(addr);
-                let done = self.book_load(addr, out.level, out.latency, Pipe::B, sink);
+                let (done, eff_level) = self.book_load(addr, out.level, out.latency, Pipe::B, sink);
                 self.mem_stats.record_load(Pipe::B, out.level, out.latency);
                 let idx = dest.index();
                 self.b_regs[idx] = load_write(raw, size, signed);
                 self.b_ready[idx] = done;
                 self.b_pending_load[idx] = true;
+                self.b_cause[idx] = StallCause::load(eff_level);
+                self.b_pc[idx] = entry.pc;
                 self.push_feedback(dest, entry.seq, self.b_regs[idx], done);
             }
             Effect::Store { addr, size, bits } => {
@@ -634,12 +704,14 @@ impl<'p> TwoPass<'p> {
         if let Effect::Load { addr, size, signed, dest } = evaluate(&entry.insn, &self.b_regs) {
             let raw = self.mem_img.read(addr, size);
             let out = self.hier.load(addr);
-            let done = self.book_load(addr, out.level, out.latency, Pipe::B, sink);
+            let (done, eff_level) = self.book_load(addr, out.level, out.latency, Pipe::B, sink);
             self.mem_stats.record_load(Pipe::B, out.level, out.latency);
             let idx = dest.index();
             self.b_regs[idx] = load_write(raw, size, signed);
             self.b_ready[idx] = done;
             self.b_pending_load[idx] = true;
+            self.b_cause[idx] = StallCause::load(eff_level);
+            self.b_pc[idx] = entry.pc;
             self.push_feedback(dest, entry.seq, self.b_regs[idx], done);
         }
         *flush = Some(FlushPlan {
@@ -673,6 +745,9 @@ impl<'p> TwoPass<'p> {
             self.cq.iter().filter(|e| e.state.is_deferred() && e.insn.op.is_store()).count();
     }
 
+    /// Books a load against the MSHRs, returning its completion cycle and
+    /// the *effective* level the consumer would wait on (a fill-clamped L1
+    /// hit is really waiting on the in-flight fill's level).
     fn book_load(
         &mut self,
         addr: u64,
@@ -680,18 +755,18 @@ impl<'p> TwoPass<'p> {
         latency: u64,
         pipe: Pipe,
         sink: &mut SinkHandle,
-    ) -> u64 {
+    ) -> (u64, MemLevel) {
         let done = self.cycle + latency;
         let line = self.cfg.hierarchy.l2.line_of(addr);
         if level == MemLevel::L1 {
             // Tags fill at access time, so a "hit" may name a line whose
             // fill is still in flight: complete no earlier than the fill.
-            return match self.mshrs.pending(self.cycle, line) {
-                Some(fill_done) => fill_done.max(done),
-                None => done,
+            return match self.mshrs.pending_fill(self.cycle, line) {
+                Some((fill_done, fill_level)) if fill_done > done => (fill_done, fill_level),
+                _ => (done, MemLevel::L1),
             };
         }
-        let fill_at = self.mshrs.request(self.cycle, line, done).unwrap_or(done).max(done);
+        let fill_at = self.mshrs.request(self.cycle, line, done, level).unwrap_or(done).max(done);
         if sink.is_on() {
             sink.emit_with(|| TraceEvent::MissBegin {
                 cycle: self.cycle,
@@ -702,7 +777,7 @@ impl<'p> TwoPass<'p> {
             });
             self.pending_misses.push((fill_at, addr, level));
         }
-        fill_at
+        (fill_at, level)
     }
 
     // ---- A-pipe ---------------------------------------------------------
@@ -956,23 +1031,24 @@ impl<'p> TwoPass<'p> {
         let now = self.cycle;
         let risky = self.deferred_stores_in_cq > 0;
 
-        let (bits, ready_at, level, latency) = match self.store_buffer.forward(f.seq, addr, size) {
-            ForwardResult::Partial => return (CqState::Deferred, false),
-            ForwardResult::Forwarded(raw) => {
-                // Store-buffer bypass at L1 speed.
-                let lat = self.cfg.hierarchy.l1_latency;
-                (load_write(raw, size, signed), now + lat, MemLevel::L1, lat)
-            }
-            ForwardResult::NoConflict => {
-                if !self.mshrs.has_room(now) && self.hier.probe(addr) != MemLevel::L1 {
-                    return (CqState::Deferred, false);
+        let (bits, ready_at, level, latency, eff_level) =
+            match self.store_buffer.forward(f.seq, addr, size) {
+                ForwardResult::Partial => return (CqState::Deferred, false),
+                ForwardResult::Forwarded(raw) => {
+                    // Store-buffer bypass at L1 speed.
+                    let lat = self.cfg.hierarchy.l1_latency;
+                    (load_write(raw, size, signed), now + lat, MemLevel::L1, lat, MemLevel::L1)
                 }
-                let raw = self.mem_img.read(addr, size);
-                let out = self.hier.load(addr);
-                let done = self.book_load(addr, out.level, out.latency, Pipe::A, sink);
-                (load_write(raw, size, signed), done, out.level, out.latency)
-            }
-        };
+                ForwardResult::NoConflict => {
+                    if !self.mshrs.has_room(now) && self.hier.probe(addr) != MemLevel::L1 {
+                        return (CqState::Deferred, false);
+                    }
+                    let raw = self.mem_img.read(addr, size);
+                    let out = self.hier.load(addr);
+                    let (done, eff) = self.book_load(addr, out.level, out.latency, Pipe::A, sink);
+                    (load_write(raw, size, signed), done, out.level, out.latency, eff)
+                }
+            };
 
         self.mem_stats.record_load(Pipe::A, level, latency);
         self.alat.allocate(f.seq, addr, size);
@@ -988,7 +1064,7 @@ impl<'p> TwoPass<'p> {
                 writes,
                 ready_at,
                 pending_load: true,
-                load: Some(LoadInfo { addr, size, risky }),
+                load: Some(LoadInfo { addr, size, risky, level: eff_level }),
                 store: None,
                 branch: None,
             },

@@ -7,6 +7,7 @@
 //! only coupling between the pipes: there are no bypass paths.
 
 use ff_isa::{Instruction, Writes};
+use ff_mem::MemLevel;
 use std::collections::VecDeque;
 
 /// Pre-computed load information for the merge-time ALAT check.
@@ -19,6 +20,10 @@ pub struct LoadInfo {
     /// Whether an older deferred store was in the queue when this load
     /// pre-executed (the paper's "risky" load population).
     pub risky: bool,
+    /// Effective hierarchy level the pre-executed load waits on, for
+    /// refined stall attribution (fill-clamped hits report the in-flight
+    /// fill's level).
+    pub level: MemLevel,
 }
 
 /// Pre-computed store information (value to commit at merge).

@@ -5,6 +5,7 @@
 //! merges accesses to a line that is already being fetched — the second
 //! requester simply inherits the in-flight fill's completion time.
 
+use crate::hierarchy::MemLevel;
 use serde::{Deserialize, Serialize};
 
 /// One in-flight line fill.
@@ -12,6 +13,8 @@ use serde::{Deserialize, Serialize};
 struct Entry {
     line: u64,
     done_at: u64,
+    /// The hierarchy level servicing the fill (for stall attribution).
+    level: MemLevel,
 }
 
 /// Statistics kept by the MSHR file.
@@ -40,17 +43,19 @@ pub struct MshrStats {
 /// # Examples
 ///
 /// ```
-/// use ff_mem::MshrFile;
+/// use ff_mem::{MemLevel, MshrFile};
 ///
 /// let mut mshrs = MshrFile::new(2);
-/// assert_eq!(mshrs.request(/*now=*/0, /*line=*/0x40, /*done_at=*/100), Some(100));
+/// assert_eq!(mshrs.request(/*now=*/0, /*line=*/0x40, /*done_at=*/100, MemLevel::Mem), Some(100));
 /// // A second access to the same in-flight line merges:
-/// assert_eq!(mshrs.request(3, 0x40, 103), Some(100));
+/// assert_eq!(mshrs.request(3, 0x40, 103, MemLevel::L2), Some(100));
 /// // Capacity is per distinct line:
-/// assert_eq!(mshrs.request(4, 0x80, 104), Some(104));
-/// assert_eq!(mshrs.request(5, 0xC0, 105), None); // full
+/// assert_eq!(mshrs.request(4, 0x80, 104, MemLevel::L2), Some(104));
+/// assert_eq!(mshrs.request(5, 0xC0, 105, MemLevel::L2), None); // full
+/// // The in-flight fill remembers the level that services it:
+/// assert_eq!(mshrs.pending_fill(6, 0x40), Some((100, MemLevel::Mem)));
 /// // Once fills complete, capacity frees up:
-/// assert_eq!(mshrs.request(101, 0xC0, 201), Some(201));
+/// assert_eq!(mshrs.request(101, 0xC0, 201, MemLevel::L3), Some(201));
 /// ```
 #[derive(Debug, Clone)]
 pub struct MshrFile {
@@ -101,17 +106,19 @@ impl MshrFile {
         self.entries.retain(|e| e.done_at > now);
     }
 
-    /// Requests a fill of `line`, completing at `done_at`, at cycle `now`.
+    /// Requests a fill of `line`, completing at `done_at` and serviced by
+    /// hierarchy level `level`, at cycle `now`.
     ///
     /// Returns the cycle at which the data will be available, or `None`
     /// if the file is full (the requester must retry — a *resource
     /// stall*). Requests for an already-in-flight line merge and return
-    /// the existing completion time.
+    /// the existing completion time (the merged requester inherits the
+    /// in-flight fill's level, observable via [`MshrFile::pending_fill`]).
     ///
     /// Each rejected call bumps [`MshrStats::full_stall_cycles`];
     /// [`MshrStats::full_reject_events`] is bumped only when the rejection
     /// is not a consecutive-cycle retry of the same line.
-    pub fn request(&mut self, now: u64, line: u64, done_at: u64) -> Option<u64> {
+    pub fn request(&mut self, now: u64, line: u64, done_at: u64, level: MemLevel) -> Option<u64> {
         self.expire(now);
         if let Some(e) = self.entries.iter().find(|e| e.line == line) {
             self.stats.merges += 1;
@@ -128,7 +135,7 @@ impl MshrFile {
             self.last_reject = Some((now, line));
             return None;
         }
-        self.entries.push(Entry { line, done_at });
+        self.entries.push(Entry { line, done_at, level });
         self.stats.allocations += 1;
         Some(done_at)
     }
@@ -147,7 +154,18 @@ impl MshrFile {
     /// callers must clamp such hits to the in-flight fill's completion.
     #[must_use]
     pub fn pending(&self, now: u64, line: u64) -> Option<u64> {
-        self.entries.iter().find(|e| e.line == line && e.done_at > now).map(|e| e.done_at)
+        self.pending_fill(now, line).map(|(done_at, _)| done_at)
+    }
+
+    /// Like [`MshrFile::pending`], but also reports the hierarchy level
+    /// servicing the in-flight fill — the level a fill-clamped hit is
+    /// *really* waiting on, for stall attribution.
+    #[must_use]
+    pub fn pending_fill(&self, now: u64, line: u64) -> Option<(u64, MemLevel)> {
+        self.entries
+            .iter()
+            .find(|e| e.line == line && e.done_at > now)
+            .map(|e| (e.done_at, e.level))
     }
 
     /// Drops all in-flight entries (used on machine reset, not on pipeline
@@ -166,8 +184,8 @@ mod tests {
     #[test]
     fn merge_returns_existing_completion() {
         let mut m = MshrFile::new(4);
-        assert_eq!(m.request(0, 0x100, 50), Some(50));
-        assert_eq!(m.request(10, 0x100, 60), Some(50));
+        assert_eq!(m.request(0, 0x100, 50, MemLevel::L2), Some(50));
+        assert_eq!(m.request(10, 0x100, 60, MemLevel::L2), Some(50));
         assert_eq!(m.stats().merges, 1);
         assert_eq!(m.stats().allocations, 1);
     }
@@ -175,28 +193,28 @@ mod tests {
     #[test]
     fn full_file_rejects_new_lines() {
         let mut m = MshrFile::new(1);
-        assert!(m.request(0, 0x40, 100).is_some());
-        assert!(m.request(1, 0x80, 101).is_none());
+        assert!(m.request(0, 0x40, 100, MemLevel::L2).is_some());
+        assert!(m.request(1, 0x80, 101, MemLevel::L2).is_none());
         assert_eq!(m.stats().full_reject_events, 1);
         assert_eq!(m.stats().full_stall_cycles, 1);
         // merging is still allowed when full
-        assert_eq!(m.request(2, 0x40, 102), Some(100));
+        assert_eq!(m.request(2, 0x40, 102, MemLevel::L2), Some(100));
     }
 
     #[test]
     fn per_cycle_retries_count_one_reject_event() {
         let mut m = MshrFile::new(1);
-        assert!(m.request(0, 0x40, 100).is_some());
+        assert!(m.request(0, 0x40, 100, MemLevel::L2).is_some());
         // The same line retried every cycle is one stall episode...
         for now in 1..=5 {
-            assert!(m.request(now, 0x80, 100 + now).is_none());
+            assert!(m.request(now, 0x80, 100 + now, MemLevel::L2).is_none());
         }
         assert_eq!(m.stats().full_stall_cycles, 5);
         assert_eq!(m.stats().full_reject_events, 1);
         // ...but a different line, or a gap of more than one cycle,
         // starts a new event.
-        assert!(m.request(6, 0xC0, 106).is_none());
-        assert!(m.request(9, 0xC0, 109).is_none());
+        assert!(m.request(6, 0xC0, 106, MemLevel::L2).is_none());
+        assert!(m.request(9, 0xC0, 109, MemLevel::L2).is_none());
         assert_eq!(m.stats().full_stall_cycles, 7);
         assert_eq!(m.stats().full_reject_events, 3);
     }
@@ -204,20 +222,33 @@ mod tests {
     #[test]
     fn completion_frees_capacity() {
         let mut m = MshrFile::new(1);
-        m.request(0, 0x40, 10);
+        m.request(0, 0x40, 10, MemLevel::L2);
         assert!(!m.has_room(5));
         assert!(m.has_room(10), "entry completing at 10 is no longer outstanding at 10");
-        assert_eq!(m.request(10, 0x80, 30), Some(30));
+        assert_eq!(m.request(10, 0x80, 30, MemLevel::L2), Some(30));
     }
 
     #[test]
     fn outstanding_counts_in_flight_only() {
         let mut m = MshrFile::new(8);
-        m.request(0, 0x40, 10);
-        m.request(0, 0x80, 20);
+        m.request(0, 0x40, 10, MemLevel::L2);
+        m.request(0, 0x80, 20, MemLevel::L2);
         assert_eq!(m.outstanding(5), 2);
         assert_eq!(m.outstanding(15), 1);
         assert_eq!(m.outstanding(25), 0);
+    }
+
+    #[test]
+    fn pending_fill_reports_the_servicing_level() {
+        let mut m = MshrFile::new(2);
+        m.request(0, 0x40, 100, MemLevel::Mem);
+        assert_eq!(m.pending_fill(5, 0x40), Some((100, MemLevel::Mem)));
+        assert_eq!(m.pending(5, 0x40), Some(100));
+        // A merge does not overwrite the in-flight fill's level.
+        assert_eq!(m.request(6, 0x40, 40, MemLevel::L2), Some(100));
+        assert_eq!(m.pending_fill(7, 0x40), Some((100, MemLevel::Mem)));
+        assert_eq!(m.pending_fill(100, 0x40), None, "completed fills are not pending");
+        assert_eq!(m.pending_fill(5, 0x80), None);
     }
 
     #[test]
@@ -229,7 +260,7 @@ mod tests {
     #[test]
     fn reset_clears_everything() {
         let mut m = MshrFile::new(2);
-        m.request(0, 0x40, 100);
+        m.request(0, 0x40, 100, MemLevel::L2);
         m.reset();
         assert!(m.has_room(0));
         assert_eq!(m.stats().allocations, 0);

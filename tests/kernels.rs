@@ -2,9 +2,32 @@
 //! must agree with the golden interpreter on every benchmark, and the
 //! cycle accounting must be exhaustive.
 
-use fleaflicker::core::{Baseline, MachineConfig, TwoPass};
+use fleaflicker::core::{Baseline, CycleClass, MachineConfig, Runahead, SimReport, TwoPass};
 use fleaflicker::isa::{check_group_hazards, ArchState};
 use fleaflicker::workloads::{paper_benchmarks, Scale, Workload};
+
+/// The two-level accounting invariants every model must satisfy: the
+/// refined causes sum to the total cycle count, collapse exactly onto
+/// the six-class breakdown (per class and in aggregate), and the
+/// per-PC stall profile accounts for precisely the attributable
+/// cycles.
+fn check_refined_accounting(name: &str, label: &str, r: &SimReport) {
+    assert_eq!(r.breakdown.total(), r.cycles, "{name}: {label} accounting");
+    assert_eq!(r.breakdown2.total(), r.cycles, "{name}: {label} refined accounting");
+    assert_eq!(r.breakdown2.collapse(), r.breakdown, "{name}: {label} cause collapse");
+    for class in CycleClass::ALL {
+        assert_eq!(
+            r.breakdown2.class_total(class),
+            r.breakdown[class],
+            "{name}: {label} class {class}"
+        );
+    }
+    assert_eq!(
+        r.stall_profile.total(),
+        r.breakdown2.attributable_total(),
+        "{name}: {label} stall profile coverage"
+    );
+}
 
 fn check_workload(w: &Workload) {
     check_group_hazards(&w.program).unwrap_or_else(|e| panic!("{}: {e}", w.name));
@@ -19,7 +42,7 @@ fn check_workload(w: &Workload) {
     assert_eq!(base.retired, interp.instr_count(), "{}: baseline retired", w.name);
     assert_eq!(&base_regs, interp.reg_bits(), "{}: baseline registers", w.name);
     assert_eq!(&base_mem, interp.mem(), "{}: baseline memory", w.name);
-    assert_eq!(base.breakdown.total(), base.cycles, "{}: baseline accounting", w.name);
+    check_refined_accounting(w.name, "baseline", &base);
 
     for regroup in [false, true] {
         let mut tp_cfg = cfg.clone();
@@ -30,8 +53,15 @@ fn check_workload(w: &Workload) {
         assert_eq!(tp.retired, interp.instr_count(), "{}: {label} retired", w.name);
         assert_eq!(&tp_regs, interp.reg_bits(), "{}: {label} registers", w.name);
         assert_eq!(&tp_mem, interp.mem(), "{}: {label} memory", w.name);
-        assert_eq!(tp.breakdown.total(), tp.cycles, "{}: {label} accounting", w.name);
+        check_refined_accounting(w.name, label, &tp);
     }
+
+    let (ra, ra_regs, ra_mem) =
+        Runahead::new(&w.program, w.memory.clone(), cfg).run_with_state(w.budget);
+    assert_eq!(ra.retired, interp.instr_count(), "{}: runahead retired", w.name);
+    assert_eq!(&ra_regs, interp.reg_bits(), "{}: runahead registers", w.name);
+    assert_eq!(&ra_mem, interp.mem(), "{}: runahead memory", w.name);
+    check_refined_accounting(w.name, "runahead", &ra);
 }
 
 #[test]
