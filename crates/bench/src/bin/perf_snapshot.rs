@@ -18,18 +18,24 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: perf_snapshot [--scale tiny|test|ref] [--threshold F] \
-[--dir DIR] [--report-only]";
+[--dir DIR] [--report-only] [--tag TAG]";
 
 struct Opts {
     scale: Scale,
     threshold: f64,
     dir: PathBuf,
     report_only: bool,
+    tag: Option<String>,
 }
 
 fn parse_opts() -> Result<Opts, String> {
-    let mut opts =
-        Opts { scale: Scale::Tiny, threshold: 0.2, dir: PathBuf::from("perf"), report_only: false };
+    let mut opts = Opts {
+        scale: Scale::Tiny,
+        threshold: 0.2,
+        dir: PathBuf::from("perf"),
+        report_only: false,
+        tag: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -43,6 +49,7 @@ fn parse_opts() -> Result<Opts, String> {
             }
             "--dir" => opts.dir = PathBuf::from(args.next().ok_or("--dir needs a value")?),
             "--report-only" => opts.report_only = true,
+            "--tag" => opts.tag = Some(args.next().ok_or("--tag needs a value")?),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
     }
@@ -154,7 +161,14 @@ fn run() -> Result<ExitCode, String> {
     }
 
     fs::create_dir_all(&opts.dir).map_err(|e| format!("mkdir {}: {e}", opts.dir.display()))?;
-    let out = opts.dir.join(format!("BENCH_{}.json", snapshot.date));
+    // An optional tag keeps a same-day re-measurement from clobbering the
+    // committed baseline; `_` sorts after `.json`'s `.`, so a tagged
+    // snapshot is also the one the next comparison picks up.
+    let name = match &opts.tag {
+        Some(tag) => format!("BENCH_{}_{tag}.json", snapshot.date),
+        None => format!("BENCH_{}.json", snapshot.date),
+    };
+    let out = opts.dir.join(name);
     let json = serde_json::to_string_pretty(&snapshot).expect("serializable snapshot");
     fs::write(&out, json + "\n").map_err(|e| format!("write {}: {e}", out.display()))?;
     println!("\nwrote {}", out.display());

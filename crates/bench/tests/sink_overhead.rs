@@ -1,0 +1,52 @@
+//! A/B timing check: running with the sink disabled must cost no more
+//! than running with a do-nothing sink attached.
+//!
+//! The disabled path (`SinkHandle::off`) skips event construction
+//! entirely; the no-op enabled path builds every event and discards it.
+//! The disabled run therefore does strictly less work, and even on a
+//! noisy host its best-of-N time should not exceed the no-op sink's by
+//! more than the generous bound here. A failure means the "disabled"
+//! path has started paying for tracing it never emits.
+
+use ff_bench::selfprof::SelfProfiler;
+use ff_core::{MachineConfig, TraceEvent, TraceSink, TwoPass};
+use ff_workloads::{benchmark_by_name, Scale};
+
+struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn emit(&mut self, _e: TraceEvent) {}
+}
+
+#[test]
+fn disabled_sink_is_not_slower_than_a_noop_sink() {
+    let w = benchmark_by_name("compress-like", Scale::Tiny).unwrap();
+    let cfg = MachineConfig::paper_table1();
+
+    // Warm up both paths once, then interleave timed repetitions so
+    // host-load drift hits both arms alike; compare best-of-N.
+    let _ = TwoPass::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget);
+    let _ = TwoPass::new(&w.program, w.memory.clone(), cfg.clone())
+        .run_with_sink(w.budget, &mut NoopSink);
+
+    const REPS: usize = 5;
+    let mut best_off = f64::INFINITY;
+    let mut best_noop = f64::INFINITY;
+    for _ in 0..REPS {
+        let mut p = SelfProfiler::new();
+        p.time("off", || TwoPass::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget));
+        p.time("noop", || {
+            TwoPass::new(&w.program, w.memory.clone(), cfg.clone())
+                .run_with_sink(w.budget, &mut NoopSink)
+        });
+        best_off = best_off.min(p.sections()[0].seconds);
+        best_noop = best_noop.min(p.sections()[1].seconds);
+    }
+
+    // Generous 1.5x bound: the claim is directional (off <= noop), the
+    // slack absorbs timer granularity and scheduling noise.
+    assert!(
+        best_off <= best_noop * 1.5,
+        "disabled sink ({best_off:.6}s) measurably slower than no-op sink ({best_noop:.6}s)"
+    );
+}

@@ -15,7 +15,6 @@
 //! [`StallProfile`] — a `perf report` for the simulated program.
 
 use serde::{DeError, Deserialize, Serialize, Value};
-use std::collections::HashMap;
 use std::fmt;
 use std::ops::{Add, AddAssign, Index};
 
@@ -518,9 +517,30 @@ pub struct StallSite {
 /// Only causes with [`StallCause::has_site`] accumulate here, so the
 /// profile total equals [`CauseBreakdown::attributable_total`] of the
 /// run's refined breakdown.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Blamed pcs are static program indices, so the backing store is a
+/// dense per-pc table grown on first touch: [`StallProfile::record`]
+/// sits on every stalled cycle of every model's hot loop, and an array
+/// increment there beats a hash-map entry probe.
+#[derive(Debug, Clone, Default)]
 pub struct StallProfile {
-    sites: HashMap<(usize, StallCause), u64>,
+    /// `rows[pc][cause.index()]` = accumulated cycles.
+    rows: Vec<[u64; N_CAUSES]>,
+    /// Distinct nonzero (pc, cause) cells.
+    sites: usize,
+    /// Sum of all cells.
+    total: u64,
+}
+
+/// Equality over recorded sites only — trailing all-zero rows from
+/// differing grow patterns don't distinguish two profiles.
+impl PartialEq for StallProfile {
+    fn eq(&self, other: &Self) -> bool {
+        let common = self.rows.len().min(other.rows.len());
+        self.rows[..common] == other.rows[..common]
+            && self.rows[common..].iter().all(|r| r.iter().all(|&c| c == 0))
+            && other.rows[common..].iter().all(|r| r.iter().all(|&c| c == 0))
+    }
 }
 
 impl StallProfile {
@@ -531,50 +551,66 @@ impl StallProfile {
     }
 
     /// Charges one cycle against the instruction at `pc`.
+    #[inline]
     pub fn record(&mut self, pc: usize, cause: StallCause) {
         self.record_n(pc, cause, 1);
     }
 
     /// Charges `n` cycles against the instruction at `pc`.
+    #[inline]
     pub fn record_n(&mut self, pc: usize, cause: StallCause, n: u64) {
         debug_assert!(cause.has_site(), "{cause} has no blamed instruction");
-        *self.sites.entry((pc, cause)).or_insert(0) += n;
+        if n == 0 {
+            return;
+        }
+        if pc >= self.rows.len() {
+            self.rows.resize(pc + 1, [0; N_CAUSES]);
+        }
+        let cell = &mut self.rows[pc][cause.index()];
+        if *cell == 0 {
+            self.sites += 1;
+        }
+        *cell += n;
+        self.total += n;
     }
 
     /// Total cycles across all sites.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.sites.values().sum()
+        self.total
     }
 
     /// Number of distinct (pc, cause) sites.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.sites.len()
+        self.sites
     }
 
     /// Whether no site has been recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.sites.is_empty()
+        self.sites == 0
     }
 
     /// Merges another profile into this one.
     pub fn merge(&mut self, other: &StallProfile) {
-        for (&key, &n) in &other.sites {
-            *self.sites.entry(key).or_insert(0) += n;
+        for s in other.sites() {
+            self.record_n(s.pc, s.cause, s.cycles);
         }
     }
 
     /// All sites in a deterministic order (pc, then cause).
     #[must_use]
     pub fn sites(&self) -> Vec<StallSite> {
-        let mut v: Vec<StallSite> = self
-            .sites
-            .iter()
-            .map(|(&(pc, cause), &cycles)| StallSite { pc, cause, cycles })
-            .collect();
-        v.sort_by_key(|s| (s.pc, s.cause.index()));
+        let mut v = Vec::with_capacity(self.sites);
+        for (pc, row) in self.rows.iter().enumerate() {
+            for cause in StallCause::ALL {
+                let cycles = row[cause.index()];
+                if cycles != 0 {
+                    v.push(StallSite { pc, cause, cycles });
+                }
+            }
+        }
         v
     }
 
@@ -600,7 +636,7 @@ impl Deserialize for StallProfile {
         let sites: Vec<StallSite> = Deserialize::from_value(v)?;
         let mut p = StallProfile::new();
         for s in sites {
-            *p.sites.entry((s.pc, s.cause)).or_insert(0) += s.cycles;
+            p.record_n(s.pc, s.cause, s.cycles);
         }
         Ok(p)
     }

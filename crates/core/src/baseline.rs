@@ -17,13 +17,14 @@ use crate::accounting::{
     CauseBreakdown, CycleBreakdown, CycleClass, StallAttr, StallCause, StallProfile,
 };
 use crate::config::MachineConfig;
-use crate::exec_common::{fitting_prefix, op_latency};
+use crate::decoded::DecodedProgram;
+use crate::exec_common::fitting_prefix_classes;
 use crate::frontend::{Frontend, FrontendConfig};
 use crate::report::{BranchStats, MemAccessStats, ModelKind, Pipe, SimReport};
 use crate::sink::{SinkHandle, TraceSink};
 use crate::trace::{Trace, TraceEvent};
 use ff_isa::reg::TOTAL_REGS;
-use ff_isa::{evaluate, load_write, Effect, MemoryImage, Opcode, Program, RegId};
+use ff_isa::{evaluate, load_write, Effect, MemoryImage, Program, RegId};
 use ff_mem::{DataHierarchy, MemLevel, MshrFile};
 
 /// The baseline in-order pipeline simulator.
@@ -51,6 +52,8 @@ use ff_mem::{DataHierarchy, MemLevel, MshrFile};
 pub struct Baseline<'p> {
     cfg: MachineConfig,
     frontend: Frontend<'p>,
+    /// Per-pc pre-decoded metadata (sources, dests, FU class, latency).
+    code: DecodedProgram,
     /// Architectural register file, raw bits.
     regs: [u64; TOTAL_REGS],
     /// Cycle at which each register's latest value becomes readable.
@@ -89,11 +92,13 @@ impl<'p> Baseline<'p> {
             icache: ff_mem::CacheGeometry::new(16 * 1024, 4, 64),
         };
         let frontend = Frontend::new(program, cfg.predictor.build(), fe_cfg);
+        let code = DecodedProgram::new(program, &cfg.latencies);
         let hier = DataHierarchy::new(cfg.hierarchy).expect("valid hierarchy");
         let mshrs = MshrFile::new(cfg.max_outstanding_loads);
         Baseline {
             cfg,
             frontend,
+            code,
             regs: [0; TOTAL_REGS],
             ready_at: [0; TOTAL_REGS],
             pending_load: [false; TOTAL_REGS],
@@ -165,16 +170,16 @@ impl<'p> Baseline<'p> {
     /// attribution of the blocking producer.
     fn group_block(&self, len: usize) -> Option<(CycleClass, StallAttr)> {
         for i in 0..len {
-            let f = self.frontend.peek(i);
-            for src in f.insn.sources() {
+            let d = self.code.at(self.frontend.peek(i).pc);
+            for src in d.srcs.iter() {
                 if self.ready_at[src.index()] > self.cycle {
                     return Some(self.reg_block(src.index()));
                 }
             }
             // EPIC WAW: a destination still being produced stalls too.
-            for d in f.insn.dests() {
-                if self.ready_at[d.index()] > self.cycle {
-                    return Some(self.reg_block(d.index()));
+            for dst in d.dests.iter() {
+                if self.ready_at[dst.index()] > self.cycle {
+                    return Some(self.reg_block(dst.index()));
                 }
             }
         }
@@ -197,8 +202,11 @@ impl<'p> Baseline<'p> {
         };
 
         // Structural: split oversubscribed groups; the prefix issues now.
-        let ops: Vec<Opcode> = (0..group_len).map(|i| self.frontend.peek(i).insn.op).collect();
-        let n = fitting_prefix(ops.iter(), &self.cfg.fu_slots, self.cfg.issue_width);
+        let n = fitting_prefix_classes(
+            (0..group_len).map(|i| self.code.at(self.frontend.peek(i).pc).fu),
+            &self.cfg.fu_slots,
+            self.cfg.issue_width,
+        );
 
         // Dependence check over the whole architectural group: EPIC
         // stalls the group if *any* member is unready, even one that
@@ -209,7 +217,7 @@ impl<'p> Baseline<'p> {
 
         // Conservative MSHR gate: a group containing a load needs room
         // for a possible fill.
-        let first_load = (0..n).find(|&i| ops[i].is_load());
+        let first_load = (0..n).find(|&i| self.code.at(self.frontend.peek(i).pc).is_load);
         if let Some(i) = first_load {
             if !self.mshrs.has_room(self.cycle) {
                 let pc = self.frontend.peek(i).pc;
@@ -232,11 +240,14 @@ impl<'p> Baseline<'p> {
                 pc: f.pc,
                 was_deferred: false,
             });
-            match evaluate(&f.insn, &self.regs) {
+            let d = self.code.at(f.pc);
+            let lat = d.latency;
+            let cause = d.dep_cause;
+            let conditional = d.insn.qp.is_some();
+            let effect = evaluate(&d.insn, &self.regs);
+            match effect {
                 Effect::Nullified | Effect::Nop => {}
                 Effect::Write(writes) => {
-                    let lat = op_latency(&f.insn.op, &self.cfg.latencies);
-                    let cause = StallCause::dep(f.insn.op.latency_class());
                     for w in writes.iter() {
                         self.regs[w.reg.index()] = w.bits;
                         self.ready_at[w.reg.index()] = self.cycle + lat;
@@ -246,7 +257,7 @@ impl<'p> Baseline<'p> {
                     }
                 }
                 Effect::Load { addr, size, signed, dest } => {
-                    let raw = self.mem_img.read(addr, size);
+                    let raw = self.mem_img.load(addr, size);
                     let out = self.hier.load(addr);
                     let (done, eff_level) = self.finish_load(addr, out.level, out.latency, sink);
                     self.mem_stats.record_load(Pipe::B, out.level, out.latency);
@@ -261,7 +272,8 @@ impl<'p> Baseline<'p> {
                     let _ = self.hier.store(addr);
                 }
                 Effect::Branch { taken, target } => {
-                    let mispredicted = self.resolve_branch(&f, taken);
+                    let mispredicted =
+                        self.resolve_branch(f.pc, f.predicted_taken, conditional, taken);
                     if mispredicted {
                         let correct = if taken { target } else { f.pc + 1 };
                         redirect = Some((correct, self.cycle + self.cfg.adet_penalty()));
@@ -331,14 +343,19 @@ impl<'p> Baseline<'p> {
 
     /// Updates branch statistics and the predictor; returns whether the
     /// branch was mispredicted.
-    fn resolve_branch(&mut self, f: &crate::frontend::FetchedInsn, taken: bool) -> bool {
-        let conditional = f.insn.qp.is_some();
+    fn resolve_branch(
+        &mut self,
+        pc: usize,
+        predicted_taken: bool,
+        conditional: bool,
+        taken: bool,
+    ) -> bool {
         if !conditional {
             return false; // unconditional: fetch already followed it
         }
         self.branches.retired += 1;
-        self.frontend.predictor_mut().update(f.pc as u64, taken);
-        let mispredicted = taken != f.predicted_taken;
+        self.frontend.predictor_mut().update(pc as u64, taken);
+        let mispredicted = taken != predicted_taken;
         if mispredicted {
             self.branches.mispredicted += 1;
             self.branches.repaired_in_a += 1;

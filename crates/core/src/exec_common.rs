@@ -1,7 +1,7 @@
 //! Helpers shared by the pipeline engines.
 
 use crate::config::{FuSlots, OpLatencies};
-use ff_isa::{LatencyClass, Opcode};
+use ff_isa::{FuClass, LatencyClass, Opcode};
 
 /// Fixed execution latency of a non-load operation.
 ///
@@ -49,24 +49,35 @@ impl SlotUsage {
     /// the usage so far.
     #[must_use]
     pub fn fits(&self, op: &Opcode, slots: &FuSlots, issue_width: usize) -> bool {
+        self.fits_class(op.fu_class(), slots, issue_width)
+    }
+
+    /// Whether one more operation of class `fu` would still fit.
+    #[must_use]
+    pub fn fits_class(&self, fu: FuClass, slots: &FuSlots, issue_width: usize) -> bool {
         if self.total() >= issue_width {
             return false;
         }
-        match op.fu_class() {
-            ff_isa::FuClass::Alu => self.alu < slots.alu,
-            ff_isa::FuClass::Mem => self.mem < slots.mem,
-            ff_isa::FuClass::Fp => self.fp < slots.fp,
-            ff_isa::FuClass::Branch => self.branch < slots.branch,
+        match fu {
+            FuClass::Alu => self.alu < slots.alu,
+            FuClass::Mem => self.mem < slots.mem,
+            FuClass::Fp => self.fp < slots.fp,
+            FuClass::Branch => self.branch < slots.branch,
         }
     }
 
     /// Records `op` as issued.
     pub fn take(&mut self, op: &Opcode) {
-        match op.fu_class() {
-            ff_isa::FuClass::Alu => self.alu += 1,
-            ff_isa::FuClass::Mem => self.mem += 1,
-            ff_isa::FuClass::Fp => self.fp += 1,
-            ff_isa::FuClass::Branch => self.branch += 1,
+        self.take_class(op.fu_class());
+    }
+
+    /// Records one operation of class `fu` as issued.
+    pub fn take_class(&mut self, fu: FuClass) {
+        match fu {
+            FuClass::Alu => self.alu += 1,
+            FuClass::Mem => self.mem += 1,
+            FuClass::Fp => self.fp += 1,
+            FuClass::Branch => self.branch += 1,
         }
     }
 }
@@ -79,11 +90,22 @@ pub fn fitting_prefix<'a, I>(ops: I, slots: &FuSlots, issue_width: usize) -> usi
 where
     I: IntoIterator<Item = &'a Opcode>,
 {
+    fitting_prefix_classes(ops.into_iter().map(Opcode::fu_class), slots, issue_width)
+}
+
+/// [`fitting_prefix`] over pre-decoded FU classes, for engines that keep
+/// a [`crate::decoded::DecodedProgram`] and never touch the opcodes on
+/// the slot-packing path.
+#[must_use]
+pub fn fitting_prefix_classes<I>(classes: I, slots: &FuSlots, issue_width: usize) -> usize
+where
+    I: IntoIterator<Item = FuClass>,
+{
     let mut usage = SlotUsage::default();
     let mut n = 0;
-    for op in ops {
-        if usage.fits(op, slots, issue_width) {
-            usage.take(op);
+    for fu in classes {
+        if usage.fits_class(fu, slots, issue_width) {
+            usage.take_class(fu);
             n += 1;
         } else {
             break;

@@ -12,7 +12,7 @@
 //! `halt` also ends its group, since hardware cannot issue past a taken
 //! control transfer in the same cycle.
 
-use ff_isa::{Instruction, Opcode, Program};
+use ff_isa::{Opcode, Program};
 use ff_mem::{Cache, CacheGeometry};
 use ff_predict::DirectionPredictor;
 use serde::{Deserialize, Serialize};
@@ -23,6 +23,10 @@ use std::collections::VecDeque;
 pub const INSN_BYTES: u64 = 16;
 
 /// One decoded instruction waiting in the fetch buffer.
+///
+/// Deliberately small and `Copy`: the engines look the instruction
+/// itself up in their pre-decoded program store by `pc`, so the fetch
+/// buffer only moves slot descriptors around, not opcode payloads.
 #[derive(Debug, Clone, Copy)]
 pub struct FetchedInsn {
     /// Dynamic sequence number (monotonic across the run, including
@@ -30,8 +34,6 @@ pub struct FetchedInsn {
     pub seq: u64,
     /// Static instruction index.
     pub pc: usize,
-    /// The decoded instruction.
-    pub insn: Instruction,
     /// Whether this instruction ends its issue group.
     pub group_end: bool,
     /// For conditional branches: the predicted direction.
@@ -161,7 +163,6 @@ impl<'p> Frontend<'p> {
             let mut fetched = FetchedInsn {
                 seq: self.next_seq,
                 pc,
-                insn,
                 group_end: insn.stop,
                 predicted_taken: false,
             };

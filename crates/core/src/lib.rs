@@ -21,6 +21,7 @@
 pub mod accounting;
 pub mod baseline;
 pub mod config;
+pub mod decoded;
 pub mod exec_common;
 pub mod frontend;
 pub mod metrics;

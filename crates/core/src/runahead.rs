@@ -19,13 +19,14 @@ use crate::accounting::{
     CauseBreakdown, CycleBreakdown, CycleClass, StallAttr, StallCause, StallProfile,
 };
 use crate::config::MachineConfig;
-use crate::exec_common::{fitting_prefix, op_latency};
+use crate::decoded::DecodedProgram;
+use crate::exec_common::fitting_prefix_classes;
 use crate::frontend::{Frontend, FrontendConfig};
 use crate::report::{BranchStats, MemAccessStats, ModelKind, Pipe, SimReport};
 use crate::sink::{SinkHandle, TraceSink};
 use crate::trace::{Trace, TraceEvent};
 use ff_isa::reg::TOTAL_REGS;
-use ff_isa::{evaluate, load_write, Effect, MemoryImage, Opcode, Program};
+use ff_isa::{evaluate, load_write, Effect, MemoryImage, Program};
 use ff_mem::{DataHierarchy, MemLevel, MshrFile};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -69,6 +70,8 @@ const EXIT_PENALTY: u64 = 2;
 pub struct Runahead<'p> {
     cfg: MachineConfig,
     frontend: Frontend<'p>,
+    /// Per-pc pre-decoded metadata (sources, dests, FU class, latency).
+    code: DecodedProgram,
     regs: [u64; TOTAL_REGS],
     ready_at: [u64; TOTAL_REGS],
     pending_load: [bool; TOTAL_REGS],
@@ -150,11 +153,13 @@ impl<'p> Runahead<'p> {
             icache: ff_mem::CacheGeometry::new(16 * 1024, 4, 64),
         };
         let frontend = Frontend::new(program, cfg.predictor.build(), fe_cfg);
+        let code = DecodedProgram::new(program, &cfg.latencies);
         let hier = DataHierarchy::new(cfg.hierarchy).expect("valid hierarchy");
         let mshrs = MshrFile::new(cfg.max_outstanding_loads);
         Runahead {
             cfg,
             frontend,
+            code,
             regs: [0; TOTAL_REGS],
             ready_at: [0; TOTAL_REGS],
             pending_load: [false; TOTAL_REGS],
@@ -307,8 +312,9 @@ impl<'p> Runahead<'p> {
         // Dependence check at issue-group granularity.
         let mut block: Option<(CycleClass, usize, u64, StallAttr)> = None;
         'outer: for i in 0..group_len {
-            let f = self.frontend.peek(i);
-            for reg in f.insn.sources().into_iter().chain(f.insn.dests()) {
+            let pc = self.frontend.peek(i).pc;
+            let d = self.code.at(pc);
+            for reg in d.srcs.iter().chain(d.dests.iter()) {
                 let idx = reg.index();
                 if self.ready_at[idx] > self.cycle {
                     let class = if self.pending_load[idx] {
@@ -318,7 +324,7 @@ impl<'p> Runahead<'p> {
                     };
                     let attr = StallAttr::at(self.reg_cause[idx], self.reg_pc[idx]);
                     debug_assert_eq!(attr.cause.class(), class);
-                    block = Some((class, f.pc, self.ready_at[idx], attr));
+                    block = Some((class, pc, self.ready_at[idx], attr));
                     break 'outer;
                 }
             }
@@ -330,9 +336,12 @@ impl<'p> Runahead<'p> {
             return (class, attr);
         }
 
-        let ops: Vec<Opcode> = (0..group_len).map(|i| self.frontend.peek(i).insn.op).collect();
-        let n = fitting_prefix(ops.iter(), &self.cfg.fu_slots, self.cfg.issue_width);
-        if let Some(i) = (0..n).find(|&i| ops[i].is_load()) {
+        let n = fitting_prefix_classes(
+            (0..group_len).map(|i| self.code.at(self.frontend.peek(i).pc).fu),
+            &self.cfg.fu_slots,
+            self.cfg.issue_width,
+        );
+        if let Some(i) = (0..n).find(|&i| self.code.at(self.frontend.peek(i).pc).is_load) {
             if !self.mshrs.has_room(self.cycle) {
                 let pc = self.frontend.peek(i).pc;
                 return (CycleClass::ResourceStall, StallAttr::at(StallCause::ResMshr, pc));
@@ -352,11 +361,14 @@ impl<'p> Runahead<'p> {
                 pc: f.pc,
                 was_deferred: false,
             });
-            match evaluate(&f.insn, &self.regs) {
+            let d = self.code.at(f.pc);
+            let lat = d.latency;
+            let cause = d.dep_cause;
+            let conditional = d.insn.qp.is_some();
+            let effect = evaluate(&d.insn, &self.regs);
+            match effect {
                 Effect::Nullified | Effect::Nop => {}
                 Effect::Write(writes) => {
-                    let lat = op_latency(&f.insn.op, &self.cfg.latencies);
-                    let cause = StallCause::dep(f.insn.op.latency_class());
                     for w in writes.iter() {
                         self.regs[w.reg.index()] = w.bits;
                         self.ready_at[w.reg.index()] = self.cycle + lat;
@@ -366,7 +378,7 @@ impl<'p> Runahead<'p> {
                     }
                 }
                 Effect::Load { addr, size, signed, dest } => {
-                    let raw = self.mem_img.read(addr, size);
+                    let raw = self.mem_img.load(addr, size);
                     let out = self.hier.load(addr);
                     let (done, eff_level) =
                         self.book_load(addr, out.level, out.latency, Pipe::B, sink);
@@ -382,7 +394,7 @@ impl<'p> Runahead<'p> {
                     let _ = self.hier.store(addr);
                 }
                 Effect::Branch { taken, target } => {
-                    if f.insn.qp.is_some() {
+                    if conditional {
                         self.branches.retired += 1;
                         self.frontend.predictor_mut().update(f.pc as u64, taken);
                         if taken != f.predicted_taken {
@@ -473,8 +485,11 @@ impl<'p> Runahead<'p> {
         let Some(group_len) = self.frontend.complete_group_len() else {
             return;
         };
-        let ops: Vec<Opcode> = (0..group_len).map(|i| self.frontend.peek(i).insn.op).collect();
-        let n = fitting_prefix(ops.iter(), &self.cfg.fu_slots, self.cfg.issue_width);
+        let n = fitting_prefix_classes(
+            (0..group_len).map(|i| self.code.at(self.frontend.peek(i).pc).fu),
+            &self.cfg.fu_slots,
+            self.cfg.issue_width,
+        );
 
         let mut issued = 0;
         let mut redirect: Option<usize> = None;
@@ -483,20 +498,24 @@ impl<'p> Runahead<'p> {
             issued += 1;
             self.ra_stats.discarded_instrs += 1;
 
+            let d = self.code.at(f.pc);
+            let lat = d.latency;
+            let conditional = d.insn.qp.is_some();
+
             // INV / not-yet-ready sources poison the result instead of
             // stalling.
             let mut poisoned = false;
-            for src in f.insn.sources() {
+            for src in d.srcs.iter() {
                 let idx = src.index();
                 if ra.inv[idx] || ra.ready_at[idx] > self.cycle {
                     poisoned = true;
                 }
             }
 
-            match evaluate(&f.insn, &ra.regs) {
+            let effect = evaluate(&d.insn, &ra.regs);
+            match effect {
                 Effect::Nullified | Effect::Nop => {}
                 Effect::Write(writes) => {
-                    let lat = op_latency(&f.insn.op, &self.cfg.latencies);
                     for w in writes.iter() {
                         ra.regs[w.reg.index()] = w.bits;
                         ra.inv[w.reg.index()] = poisoned;
@@ -531,7 +550,7 @@ impl<'p> Runahead<'p> {
                             break;
                         }
                     } else {
-                        if f.insn.qp.is_some() && taken != f.predicted_taken {
+                        if conditional && taken != f.predicted_taken {
                             redirect = Some(if taken { target } else { f.pc + 1 });
                             break;
                         }

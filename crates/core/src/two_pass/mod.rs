@@ -30,14 +30,15 @@ use crate::accounting::{
     CauseBreakdown, CycleBreakdown, CycleClass, StallAttr, StallCause, StallProfile,
 };
 use crate::config::{FeedbackLatency, MachineConfig};
-use crate::exec_common::{fitting_prefix, op_latency};
+use crate::decoded::DecodedProgram;
+use crate::exec_common::fitting_prefix_classes;
 use crate::frontend::{FetchedInsn, Frontend, FrontendConfig};
 use crate::report::{BranchStats, MemAccessStats, ModelKind, Pipe, SimReport, TwoPassStats};
 use crate::sink::{SinkHandle, TraceSink};
 use crate::trace::{FlushKind, Trace, TraceEvent};
 use afile::{AFile, ProducerKind, SourceState};
 use ff_isa::reg::TOTAL_REGS;
-use ff_isa::{evaluate, load_write, Effect, MemoryImage, Opcode, Program, RegId, Writes};
+use ff_isa::{evaluate, load_write, Effect, MemoryImage, Program, RegId, Writes};
 use ff_mem::{Alat, AlatCheck, DataHierarchy, ForwardResult, MemLevel, MshrFile, StoreBuffer};
 use queue::{BranchInfo, CouplingQueue, CqEntry, CqState, LoadInfo, StoreInfo};
 
@@ -57,6 +58,18 @@ struct FlushPlan {
     redirect_pc: usize,
     penalty: u64,
     kind: FlushKind,
+}
+
+/// A register written by an earlier entry of the bundle under check:
+/// `avail = true` means available at merge time (pre-executed), `false`
+/// means produced later this cycle (deferred) and unusable by bundle
+/// peers. The writer's pc and refined cause ride along for attribution.
+#[derive(Debug, Clone, Copy)]
+struct BundleWrite {
+    reg: usize,
+    avail: bool,
+    pc: usize,
+    cause: StallCause,
 }
 
 /// The two-pass pipeline simulator.
@@ -84,6 +97,11 @@ struct FlushPlan {
 pub struct TwoPass<'p> {
     cfg: MachineConfig,
     frontend: Frontend<'p>,
+    /// Per-pc pre-decoded metadata (sources, dests, FU class, latency).
+    code: DecodedProgram,
+    /// Reusable scratch for the bundle dependence check (allocation-free
+    /// steady state).
+    bundle_scratch: Vec<BundleWrite>,
     afile: AFile,
     /// Architectural (B-file) register bits.
     b_regs: [u64; TOTAL_REGS],
@@ -142,9 +160,12 @@ impl<'p> TwoPass<'p> {
         let store_buffer = StoreBuffer::new(cfg.two_pass.store_buffer_size);
         let alat = Alat::new(cfg.two_pass.alat);
         let cq = CouplingQueue::new(cfg.two_pass.queue_size);
+        let code = DecodedProgram::new(program, &cfg.latencies);
         TwoPass {
             cfg,
             frontend,
+            code,
+            bundle_scratch: Vec::new(),
             afile: AFile::new(),
             b_regs: [0; TOTAL_REGS],
             b_ready: [0; TOTAL_REGS],
@@ -362,25 +383,28 @@ impl<'p> TwoPass<'p> {
     /// dependence on a deferred bundle peer, which time will not resolve
     /// (the bundle must split there) — or *external* (stall the group,
     /// EPIC-style), and the refined attribution of the blocking producer.
-    fn bundle_block(&self, len: usize) -> Option<(usize, CycleClass, bool, StallAttr)> {
+    fn bundle_block(&mut self, len: usize) -> Option<(usize, CycleClass, bool, StallAttr)> {
+        // Reuse the scratch buffer across cycles: take it out of `self`
+        // so the scan can borrow the rest of the machine immutably.
+        let mut written = std::mem::take(&mut self.bundle_scratch);
+        written.clear();
+        let result = self.bundle_block_scan(len, &mut written);
+        self.bundle_scratch = written;
+        result
+    }
+
+    fn bundle_block_scan(
+        &self,
+        len: usize,
+        written: &mut Vec<BundleWrite>,
+    ) -> Option<(usize, CycleClass, bool, StallAttr)> {
         let now = self.cycle;
-        // Registers written by earlier entries of this bundle:
-        // `avail = true` means available at merge time (pre-executed),
-        // `false` means produced later this cycle (deferred) and unusable
-        // by bundle peers. The writer's pc and refined cause ride along
-        // for attribution.
-        struct BundleWrite {
-            reg: usize,
-            avail: bool,
-            pc: usize,
-            cause: StallCause,
-        }
-        let mut written: Vec<BundleWrite> = Vec::new();
         let find = |written: &[BundleWrite], idx: usize| {
             written.iter().rev().position(|w| w.reg == idx).map(|p| written.len() - 1 - p)
         };
         for i in 0..len {
             let e = self.cq.get(i).expect("bundle in range");
+            let d = self.code.at(e.pc);
             match e.state {
                 CqState::Executed { ready_at, pending_load, writes, load, .. } => {
                     if ready_at > now {
@@ -392,7 +416,7 @@ impl<'p> TwoPass<'p> {
                         let cause = if pending_load {
                             StallCause::load(load.map_or(MemLevel::L1, |li| li.level))
                         } else {
-                            StallCause::dep(e.insn.op.latency_class())
+                            d.dep_cause
                         };
                         let attr = StallAttr::at(cause, e.pc);
                         debug_assert_eq!(attr.cause.class(), class);
@@ -403,14 +427,14 @@ impl<'p> TwoPass<'p> {
                             reg: w.reg.index(),
                             avail: true,
                             pc: e.pc,
-                            cause: StallCause::dep(e.insn.op.latency_class()),
+                            cause: d.dep_cause,
                         });
                     }
                 }
                 CqState::Deferred => {
-                    for src in e.insn.sources() {
+                    for src in d.srcs.iter() {
                         let idx = src.index();
-                        match find(&written, idx) {
+                        match find(written, idx) {
                             Some(w) if written[w].avail => {}
                             Some(w) => {
                                 let attr = StallAttr::at(written[w].cause, written[w].pc);
@@ -431,14 +455,14 @@ impl<'p> TwoPass<'p> {
                             }
                         }
                     }
-                    if e.insn.op.is_load() && !self.mshrs.has_room(now) {
+                    if d.is_load && !self.mshrs.has_room(now) {
                         let attr = StallAttr::at(StallCause::ResMshr, e.pc);
                         return Some((i, CycleClass::ResourceStall, false, attr));
                     }
                     // WAW against a deferred peer also forces a split:
                     // sequential apply order must be preserved in time.
-                    for d in e.insn.dests() {
-                        if let Some(w) = find(&written, d.index()) {
+                    for dst in d.dests.iter() {
+                        if let Some(w) = find(written, dst.index()) {
                             if !written[w].avail {
                                 let attr = StallAttr::at(written[w].cause, written[w].pc);
                                 debug_assert_eq!(attr.cause.class(), CycleClass::NonLoadDepStall);
@@ -446,12 +470,12 @@ impl<'p> TwoPass<'p> {
                             }
                         }
                     }
-                    for d in e.insn.dests() {
+                    for dst in d.dests.iter() {
                         written.push(BundleWrite {
-                            reg: d.index(),
+                            reg: dst.index(),
                             avail: false,
                             pc: e.pc,
-                            cause: StallCause::dep(e.insn.op.latency_class()),
+                            cause: d.dep_cause,
                         });
                     }
                 }
@@ -496,9 +520,12 @@ impl<'p> TwoPass<'p> {
             issue_len = idx;
         }
 
-        let ops: Vec<Opcode> = (0..issue_len).map(|i| self.cq.get(i).unwrap().insn.op).collect();
-        let mut bundle =
-            fitting_prefix(ops.iter(), &self.cfg.fu_slots, self.cfg.issue_width).min(issue_len);
+        let mut bundle = fitting_prefix_classes(
+            (0..issue_len).map(|i| self.code.at(self.cq.get(i).unwrap().pc).fu),
+            &self.cfg.fu_slots,
+            self.cfg.issue_width,
+        )
+        .min(issue_len);
 
         // Instruction regrouping (2Pre): remove the stop bit after the
         // head group when pre-execution has made the next group
@@ -507,11 +534,11 @@ impl<'p> TwoPass<'p> {
         if self.cfg.two_pass.regroup && bundle == glen && issue_len == glen {
             if let Some(next_len) = self.cq.group_len_after(bundle, self.cycle) {
                 let cand = bundle + next_len;
-                let cand_ops: Vec<Opcode> =
-                    (0..cand).map(|i| self.cq.get(i).unwrap().insn.op).collect();
-                let fits =
-                    fitting_prefix(cand_ops.iter(), &self.cfg.fu_slots, self.cfg.issue_width)
-                        >= cand;
+                let fits = fitting_prefix_classes(
+                    (0..cand).map(|i| self.code.at(self.cq.get(i).unwrap().pc).fu),
+                    &self.cfg.fu_slots,
+                    self.cfg.issue_width,
+                ) >= cand;
                 // Any block — internal or external — vetoes the merge.
                 if fits && self.bundle_block(cand).is_none() {
                     bundle = cand;
@@ -564,12 +591,13 @@ impl<'p> TwoPass<'p> {
             pc: entry.pc,
             was_deferred: entry.state.is_deferred(),
         });
-        if entry.insn.op.is_fp() {
+        let d = self.code.at(entry.pc);
+        let (is_fp, is_halt, cause) = (d.is_fp, d.is_halt, d.dep_cause);
+        if is_fp {
             self.stats.fp_retired += 1;
         }
         match entry.state {
             CqState::Executed { writes, load, store, branch, .. } => {
-                let cause = StallCause::dep(entry.insn.op.latency_class());
                 for w in writes.iter() {
                     let idx = w.reg.index();
                     self.b_regs[idx] = w.bits;
@@ -594,7 +622,7 @@ impl<'p> TwoPass<'p> {
                 if let Some(bi) = branch {
                     self.retire_branch(entry.pc, bi);
                 }
-                if matches!(entry.insn.op, Opcode::Halt) {
+                if is_halt {
                     self.halted = true;
                     return true;
                 }
@@ -625,11 +653,14 @@ impl<'p> TwoPass<'p> {
         flush: &mut Option<FlushPlan>,
         sink: &mut SinkHandle,
     ) -> bool {
-        match evaluate(&entry.insn, &self.b_regs) {
+        let d = self.code.at(entry.pc);
+        let lat = d.latency;
+        let cause = d.dep_cause;
+        let has_qp = d.insn.qp.is_some();
+        let effect = evaluate(&d.insn, &self.b_regs);
+        match effect {
             Effect::Nullified | Effect::Nop => {}
             Effect::Write(writes) => {
-                let lat = op_latency(&entry.insn.op, &self.cfg.latencies);
-                let cause = StallCause::dep(entry.insn.op.latency_class());
                 for w in writes.iter() {
                     let idx = w.reg.index();
                     self.b_regs[idx] = w.bits;
@@ -641,7 +672,7 @@ impl<'p> TwoPass<'p> {
                 }
             }
             Effect::Load { addr, size, signed, dest } => {
-                let raw = self.mem_img.read(addr, size);
+                let raw = self.mem_img.load(addr, size);
                 let out = self.hier.load(addr);
                 let (done, eff_level) = self.book_load(addr, out.level, out.latency, Pipe::B, sink);
                 self.mem_stats.record_load(Pipe::B, out.level, out.latency);
@@ -663,7 +694,7 @@ impl<'p> TwoPass<'p> {
                 self.deferred_stores_in_cq = self.deferred_stores_in_cq.saturating_sub(1);
             }
             Effect::Branch { taken, target } => {
-                debug_assert!(entry.insn.qp.is_some(), "unconditional branches never defer");
+                debug_assert!(has_qp, "unconditional branches never defer");
                 self.branches.retired += 1;
                 self.frontend.predictor_mut().update(entry.pc as u64, taken);
                 if taken != entry.predicted_taken {
@@ -701,8 +732,9 @@ impl<'p> TwoPass<'p> {
             self.stats.loads_past_deferred_store_conflicting += 1;
         }
         // Re-execute the offending load with correct memory.
-        if let Effect::Load { addr, size, signed, dest } = evaluate(&entry.insn, &self.b_regs) {
-            let raw = self.mem_img.read(addr, size);
+        let effect = evaluate(&self.code.at(entry.pc).insn, &self.b_regs);
+        if let Effect::Load { addr, size, signed, dest } = effect {
+            let raw = self.mem_img.load(addr, size);
             let out = self.hier.load(addr);
             let (done, eff_level) = self.book_load(addr, out.level, out.latency, Pipe::B, sink);
             self.mem_stats.record_load(Pipe::B, out.level, out.latency);
@@ -741,8 +773,9 @@ impl<'p> TwoPass<'p> {
         self.a_halted = false;
         self.throttled = false;
         self.defer_window.clear();
+        let code = &self.code;
         self.deferred_stores_in_cq =
-            self.cq.iter().filter(|e| e.state.is_deferred() && e.insn.op.is_store()).count();
+            self.cq.iter().filter(|e| e.state.is_deferred() && code.at(e.pc).is_store).count();
     }
 
     /// Books a load against the MSHRs, returning its completion cycle and
@@ -785,8 +818,9 @@ impl<'p> TwoPass<'p> {
     /// Whether the instruction must defer based on A-file source state.
     /// Predication refines this: a ready-and-false qualifying predicate
     /// nullifies the instruction regardless of its other operands.
-    fn must_defer(&self, f: &FetchedInsn) -> bool {
-        if let Some(qp) = f.insn.qp {
+    fn must_defer(&self, pc: usize) -> bool {
+        let d = self.code.at(pc);
+        if let Some(qp) = d.insn.qp {
             match self.afile.source_state(RegId::Pred(qp), self.cycle) {
                 SourceState::Deferred | SourceState::InFlight(_) => return true,
                 SourceState::Ready => {
@@ -797,10 +831,8 @@ impl<'p> TwoPass<'p> {
                 }
             }
         }
-        f.insn
-            .op
-            .sources()
-            .into_iter()
+        d.op_srcs
+            .iter()
             .any(|src| !matches!(self.afile.source_state(src, self.cycle), SourceState::Ready))
     }
 
@@ -847,8 +879,12 @@ impl<'p> TwoPass<'p> {
         let Some(glen) = self.frontend.complete_group_len() else {
             return;
         };
-        let ops: Vec<Opcode> = (0..glen).map(|i| self.frontend.peek(i).insn.op).collect();
-        let mut n = fitting_prefix(ops.iter(), &self.cfg.fu_slots, self.cfg.issue_width).min(glen);
+        let mut n = fitting_prefix_classes(
+            (0..glen).map(|i| self.code.at(self.frontend.peek(i).pc).fu),
+            &self.cfg.fu_slots,
+            self.cfg.issue_width,
+        )
+        .min(glen);
 
         // Dispatch only as much as the coupling queue can hold; pushing
         // nothing when the group doesn't fit whole would deadlock against
@@ -864,7 +900,7 @@ impl<'p> TwoPass<'p> {
         // latencies instead of deferring whole FP chains (§4, 175.vpr).
         if self.cfg.two_pass.stall_on_anticipable_fp {
             for i in 0..glen {
-                let blocked = self.frontend.peek(i).insn.sources().into_iter().any(|src| {
+                let blocked = self.code.at(self.frontend.peek(i).pc).srcs.iter().any(|src| {
                     matches!(
                         self.afile.source_state(src, self.cycle),
                         SourceState::InFlight(ProducerKind::Fp)
@@ -884,7 +920,7 @@ impl<'p> TwoPass<'p> {
             processed += 1;
             self.stats.dispatched_a += 1;
 
-            let (state, stop) = if self.must_defer(&f) {
+            let (state, stop) = if self.must_defer(f.pc) {
                 (CqState::Deferred, false)
             } else {
                 self.a_execute(&f, &mut redirect, sink)
@@ -892,16 +928,18 @@ impl<'p> TwoPass<'p> {
 
             self.note_dispatch(state.is_deferred());
             if state.is_deferred() {
+                let d = self.code.at(f.pc);
+                let dests = d.dests;
                 self.stats.deferred += 1;
-                if f.insn.op.is_store() {
+                if d.is_store {
                     self.stats.stores_deferred += 1;
                     self.deferred_stores_in_cq += 1;
                 }
-                if f.insn.op.is_fp() {
+                if d.is_fp {
                     self.stats.fp_deferred += 1;
                 }
-                for d in f.insn.dests() {
-                    self.afile.mark_deferred(d, f.seq);
+                for dst in dests.iter() {
+                    self.afile.mark_deferred(dst, f.seq);
                 }
             } else {
                 self.stats.executed_in_a += 1;
@@ -916,7 +954,6 @@ impl<'p> TwoPass<'p> {
             self.cq.push(CqEntry {
                 seq: f.seq,
                 pc: f.pc,
-                insn: f.insn,
                 // Squashing the rest of the group (A-DET mispredict,
                 // taken branch, halt) truncates it: the B-pipe must see
                 // this entry as the group's end or it would wait forever
@@ -957,14 +994,16 @@ impl<'p> TwoPass<'p> {
         sink: &mut SinkHandle,
     ) -> (CqState, bool) {
         let now = self.cycle;
-        match evaluate(&f.insn, &self.afile) {
+        let d = self.code.at(f.pc);
+        let lat = d.latency;
+        let producer = if d.is_fp { ProducerKind::Fp } else { ProducerKind::Other };
+        let conditional = d.insn.qp.is_some();
+        let effect = evaluate(&d.insn, &self.afile);
+        match effect {
             Effect::Nullified | Effect::Nop => {
                 (CqState::executed(Writes::default(), now, false), false)
             }
             Effect::Write(writes) => {
-                let lat = op_latency(&f.insn.op, &self.cfg.latencies);
-                let producer =
-                    if f.insn.op.is_fp() { ProducerKind::Fp } else { ProducerKind::Other };
                 for w in writes.iter() {
                     self.afile.write_executed(w.reg, w.bits, f.seq, now + lat, producer);
                 }
@@ -991,7 +1030,6 @@ impl<'p> TwoPass<'p> {
                 )
             }
             Effect::Branch { taken, target } => {
-                let conditional = f.insn.qp.is_some();
                 let mispredicted = conditional && taken != f.predicted_taken;
                 if mispredicted {
                     let correct = if taken { target } else { f.pc + 1 };
@@ -1043,7 +1081,7 @@ impl<'p> TwoPass<'p> {
                     if !self.mshrs.has_room(now) && self.hier.probe(addr) != MemLevel::L1 {
                         return (CqState::Deferred, false);
                     }
-                    let raw = self.mem_img.read(addr, size);
+                    let raw = self.mem_img.load(addr, size);
                     let out = self.hier.load(addr);
                     let (done, eff) = self.book_load(addr, out.level, out.latency, Pipe::A, sink);
                     (load_write(raw, size, signed), done, out.level, out.latency, eff)

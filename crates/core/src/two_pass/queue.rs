@@ -6,7 +6,7 @@
 //! *deferred* marker meaning the B-pipe must execute it. The queue is the
 //! only coupling between the pipes: there are no bypass paths.
 
-use ff_isa::{Instruction, Writes};
+use ff_isa::Writes;
 use ff_mem::MemLevel;
 use std::collections::VecDeque;
 
@@ -87,14 +87,16 @@ impl CqState {
 }
 
 /// One coupling-queue entry.
+///
+/// Carries no instruction payload: the engines resolve `pc` against
+/// their pre-decoded program store, so the queue moves only result
+/// state and bookkeeping.
 #[derive(Debug, Clone, Copy)]
 pub struct CqEntry {
     /// Dynamic sequence number.
     pub seq: u64,
     /// Static instruction index.
     pub pc: usize,
-    /// The instruction.
-    pub insn: Instruction,
     /// Whether this entry ends its issue group.
     pub group_end: bool,
     /// Fetch-time predicted direction (branches).
@@ -214,13 +216,11 @@ impl CouplingQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ff_isa::{Instruction, Opcode};
 
     fn entry(seq: u64, enq: u64, group_end: bool) -> CqEntry {
         CqEntry {
             seq,
             pc: seq as usize,
-            insn: Instruction::new(Opcode::Nop),
             group_end,
             predicted_taken: false,
             enq_cycle: enq,

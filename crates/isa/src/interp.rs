@@ -144,7 +144,7 @@ impl<'p> ArchState<'p> {
                 }
             }
             Effect::Load { addr, size, signed, dest } => {
-                let raw = self.mem.read(addr, size);
+                let raw = self.mem.load(addr, size);
                 self.regs[dest.index()] = load_write(raw, size, signed);
             }
             Effect::Store { addr, size, bits } => {

@@ -107,6 +107,17 @@ pub struct AccessResult {
 #[derive(Debug, Clone)]
 pub struct Cache {
     geometry: CacheGeometry,
+    /// `line_bytes.trailing_zeros()` — the line size is validated to be a
+    /// power of two, so address-to-line is a shift, never a division.
+    line_shift: u32,
+    /// Set count, computed once at construction.
+    n_sets: u64,
+    /// Ways per set as a `usize`, for slice indexing.
+    n_ways: usize,
+    /// `(mask, shift)` replacing the `% sets` / `/ sets` pair when the set
+    /// count is a power of two (true of every stock geometry); `None`
+    /// falls back to division so odd geometries behave identically.
+    set_pow2: Option<(u64, u32)>,
     sets: Vec<Way>,
     clock: u64,
     hits: u64,
@@ -121,8 +132,20 @@ impl Cache {
     /// Returns a [`GeometryError`] if the geometry is inconsistent.
     pub fn new(geometry: CacheGeometry) -> Result<Self, GeometryError> {
         geometry.validate()?;
-        let n = (geometry.sets() * geometry.ways) as usize;
-        Ok(Cache { geometry, sets: vec![Way::default(); n], clock: 0, hits: 0, misses: 0 })
+        let n_sets = geometry.sets();
+        let n = (n_sets * geometry.ways) as usize;
+        let set_pow2 = n_sets.is_power_of_two().then(|| (n_sets - 1, n_sets.trailing_zeros()));
+        Ok(Cache {
+            geometry,
+            line_shift: geometry.line_bytes.trailing_zeros(),
+            n_sets,
+            n_ways: geometry.ways as usize,
+            set_pow2,
+            sets: vec![Way::default(); n],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        })
     }
 
     /// The cache's geometry.
@@ -143,18 +166,23 @@ impl Cache {
         self.misses
     }
 
-    fn set_range(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.geometry.line_bytes;
-        let set = line % self.geometry.sets();
-        let tag = line / self.geometry.sets();
-        ((set * self.geometry.ways) as usize, tag)
+    /// Splits `addr` into `(set, tag)` — shifts and masks on the hot
+    /// path, division only for non-power-of-two set counts.
+    #[inline]
+    fn locate(&self, addr: u64) -> (u64, u64) {
+        let line = addr >> self.line_shift;
+        match self.set_pow2 {
+            Some((mask, shift)) => (line & mask, line >> shift),
+            None => (line % self.n_sets, line / self.n_sets),
+        }
     }
 
     /// Probes for `addr` without modifying state or statistics.
     #[must_use]
     pub fn probe(&self, addr: u64) -> bool {
-        let (base, tag) = self.set_range(addr);
-        self.sets[base..base + self.geometry.ways as usize].iter().any(|w| w.valid && w.tag == tag)
+        let (set, tag) = self.locate(addr);
+        let base = set as usize * self.n_ways;
+        self.sets[base..base + self.n_ways].iter().any(|w| w.valid && w.tag == tag)
     }
 
     /// Accesses `addr`, filling on miss, touching LRU, updating stats.
@@ -162,8 +190,10 @@ impl Cache {
     /// `is_write` marks the (present-after-access) line dirty.
     pub fn access(&mut self, addr: u64, is_write: bool) -> AccessResult {
         self.clock += 1;
-        let (base, tag) = self.set_range(addr);
-        let ways = &mut self.sets[base..base + self.geometry.ways as usize];
+        let (set, tag) = self.locate(addr);
+        let (n_sets, line_shift) = (self.n_sets, self.line_shift);
+        let base = set as usize * self.n_ways;
+        let ways = &mut self.sets[base..base + self.n_ways];
 
         if let Some(way) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
             way.lru = self.clock;
@@ -182,11 +212,7 @@ impl Cache {
                 .expect("nonzero ways")
         });
         let w = &mut ways[victim];
-        let writeback = (w.valid && w.dirty).then(|| {
-            let sets = self.geometry.sets();
-            let set = (addr / self.geometry.line_bytes) % sets;
-            (w.tag * sets + set) * self.geometry.line_bytes
-        });
+        let writeback = (w.valid && w.dirty).then(|| (w.tag * n_sets + set) << line_shift);
         *w = Way { valid: true, dirty: is_write, tag, lru: self.clock };
         AccessResult { hit: false, writeback }
     }
@@ -194,8 +220,9 @@ impl Cache {
     /// Invalidates the line containing `addr` if present. Returns whether
     /// a line was invalidated.
     pub fn invalidate(&mut self, addr: u64) -> bool {
-        let (base, tag) = self.set_range(addr);
-        for w in &mut self.sets[base..base + self.geometry.ways as usize] {
+        let (set, tag) = self.locate(addr);
+        let base = set as usize * self.n_ways;
+        for w in &mut self.sets[base..base + self.n_ways] {
             if w.valid && w.tag == tag {
                 w.valid = false;
                 return true;
@@ -310,6 +337,23 @@ mod tests {
         assert!(c.probe(0x0));
         assert!(!c.probe(0x4000));
         assert_eq!((c.hits(), c.misses()), (h, m));
+    }
+
+    #[test]
+    fn non_power_of_two_set_count_uses_division_fallback() {
+        // 6 sets x 2 ways x 64B = 768B: a legal geometry whose set count
+        // is not a power of two, exercising the division path in locate().
+        let mut c = Cache::new(CacheGeometry::new(768, 2, 64)).unwrap();
+        assert_eq!(c.geometry().sets(), 6);
+        // Set stride = 6 lines * 64B = 384B; three lines mapping to set 0.
+        let (a, b, d) = (0u64, 384, 768);
+        c.access(a, true); // dirty
+        c.access(b, false);
+        let res = c.access(d, false); // evicts a (LRU)
+        assert_eq!(res.writeback, Some(a), "writeback address reconstructs via division");
+        assert!(!c.probe(a));
+        assert!(c.probe(b));
+        assert!(c.probe(d));
     }
 
     #[test]

@@ -65,6 +65,10 @@ pub struct MshrFile {
     /// `(cycle, line)` of the most recent rejection, used to distinguish a
     /// fresh rejection event from a per-cycle retry of the same request.
     last_reject: Option<(u64, u64)>,
+    /// Earliest `done_at` among buffered entries (`u64::MAX` when empty):
+    /// expiry is a no-op until the clock reaches it, so the common
+    /// nothing-completed-yet request skips the retain scan entirely.
+    earliest_done: u64,
 }
 
 impl MshrFile {
@@ -81,6 +85,7 @@ impl MshrFile {
             entries: Vec::with_capacity(capacity),
             stats: MshrStats::default(),
             last_reject: None,
+            earliest_done: u64::MAX,
         }
     }
 
@@ -103,7 +108,11 @@ impl MshrFile {
     }
 
     fn expire(&mut self, now: u64) {
+        if now < self.earliest_done {
+            return;
+        }
         self.entries.retain(|e| e.done_at > now);
+        self.earliest_done = self.entries.iter().map(|e| e.done_at).min().unwrap_or(u64::MAX);
     }
 
     /// Requests a fill of `line`, completing at `done_at` and serviced by
@@ -136,6 +145,7 @@ impl MshrFile {
             return None;
         }
         self.entries.push(Entry { line, done_at, level });
+        self.earliest_done = self.earliest_done.min(done_at);
         self.stats.allocations += 1;
         Some(done_at)
     }
@@ -143,7 +153,10 @@ impl MshrFile {
     /// Whether a new distinct line could be accepted at cycle `now`.
     #[must_use]
     pub fn has_room(&self, now: u64) -> bool {
-        self.entries.iter().filter(|e| e.done_at > now).count() < self.capacity
+        // A buffered entry can only be outstanding or expired, so fewer
+        // buffered entries than capacity always means room.
+        self.entries.len() < self.capacity
+            || self.entries.iter().filter(|e| e.done_at > now).count() < self.capacity
     }
 
     /// If `line` is still being filled at cycle `now`, returns the fill's
@@ -174,6 +187,7 @@ impl MshrFile {
         self.entries.clear();
         self.stats = MshrStats::default();
         self.last_reject = None;
+        self.earliest_done = u64::MAX;
     }
 }
 

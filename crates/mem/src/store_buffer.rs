@@ -165,7 +165,10 @@ impl StoreBuffer {
     /// Only stores *older* than the load (smaller `seq`) participate. The
     /// youngest overlapping older store decides the outcome.
     pub fn forward(&mut self, load_seq: u64, addr: u64, size: u64) -> ForwardResult {
-        for e in self.entries.iter().rev().filter(|e| e.seq < load_seq) {
+        // Entries are kept in ascending dynamic order (see `insert`), so
+        // the stores older than the load form a prefix.
+        let older = self.entries.partition_point(|e| e.seq < load_seq);
+        for e in self.entries[..older].iter().rev() {
             if overlaps(e.addr, e.size, addr, size) {
                 if covers(e, addr, size) {
                     self.stats.forwards += 1;
@@ -184,7 +187,7 @@ impl StoreBuffer {
     /// Removes the entry for store `seq` (it has reached the B-pipe and is
     /// committing architecturally). Returns the entry if present.
     pub fn remove(&mut self, seq: u64) -> Option<BufferedStore> {
-        let pos = self.entries.iter().position(|e| e.seq == seq)?;
+        let pos = self.entries.binary_search_by_key(&seq, |e| e.seq).ok()?;
         Some(self.entries.remove(pos))
     }
 
