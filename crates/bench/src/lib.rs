@@ -29,6 +29,7 @@
 //! millions of cycles.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod experiments;
 pub mod fmt;

@@ -9,6 +9,12 @@
 //!
 //! This file holds a single test: the counting allocator is global to
 //! the binary, so a parallel test would pollute the measured windows.
+//!
+//! `unsafe` allowlist: this is the one file in the workspace permitted
+//! to use `unsafe` — `GlobalAlloc` is an unsafe trait, so a counting
+//! allocator cannot be written without it. Every library crate carries
+//! `#![deny(unsafe_code)]`; integration tests compile as separate
+//! crates, which is why the denial does not bite here.
 
 use ff_core::{Baseline, MachineConfig, TwoPass};
 use ff_workloads::{benchmark_by_name, Scale};

@@ -476,6 +476,23 @@ impl<'p> Baseline<'p> {
         let mem = self.mem_img.clone();
         (self.into_report(), regs, mem)
     }
+
+    /// Runs with tracing *and* returns the final architectural state —
+    /// one simulation serving both the retirement-order and final-state
+    /// halves of a differential check (see `ff-verify`).
+    #[must_use]
+    pub fn run_traced_with_state(
+        mut self,
+        max_instrs: u64,
+    ) -> (SimReport, Trace, [u64; TOTAL_REGS], MemoryImage) {
+        let mut trace = Trace::new();
+        let mut handle = SinkHandle::on(&mut trace);
+        self.run_loop(max_instrs, &mut handle);
+        handle.finish();
+        let regs = self.regs;
+        let mem = self.mem_img.clone();
+        (self.into_report(), trace, regs, mem)
+    }
 }
 
 #[cfg(test)]

@@ -49,13 +49,18 @@ pub struct DecodedProgram {
 
 impl DecodedProgram {
     /// Decodes `program` under the machine's operation latencies.
+    ///
+    /// The static facts (operand walks, FU class, kind flags) come from
+    /// the shared [`ff_isa::InsnFacts`] extraction — the same definition
+    /// the `ff-verify` static checker analyzes — so this store only adds
+    /// the machine-specific annotations (latency, refined stall cause).
     #[must_use]
     pub fn new(program: &Program, lat: &OpLatencies) -> Self {
         let insns = program
             .iter()
             .map(|insn| {
-                let lc = insn.op.latency_class();
-                let latency = match lc {
+                let f = insn.facts();
+                let latency = match f.lc {
                     LatencyClass::Int | LatencyClass::Store | LatencyClass::Branch => lat.int,
                     LatencyClass::Mul => lat.mul,
                     LatencyClass::FpArith => lat.fp_arith,
@@ -64,16 +69,16 @@ impl DecodedProgram {
                 };
                 DecodedInsn {
                     insn: *insn,
-                    srcs: insn.sources(),
-                    op_srcs: insn.op.sources(),
-                    dests: insn.dests(),
-                    fu: insn.op.fu_class(),
-                    is_load: insn.op.is_load(),
-                    is_store: insn.op.is_store(),
-                    is_fp: insn.op.is_fp(),
-                    is_halt: matches!(insn.op, ff_isa::Opcode::Halt),
+                    srcs: f.srcs,
+                    op_srcs: f.op_srcs,
+                    dests: f.dests,
+                    fu: f.fu,
+                    is_load: f.is_load,
+                    is_store: f.is_store,
+                    is_fp: f.is_fp,
+                    is_halt: f.is_halt,
                     latency,
-                    dep_cause: StallCause::dep(lc),
+                    dep_cause: StallCause::dep(f.lc),
                 }
             })
             .collect();

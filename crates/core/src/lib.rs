@@ -16,6 +16,7 @@
 //! the `ff-isa` golden interpreter.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 #![warn(missing_debug_implementations)]
 
 pub mod accounting;

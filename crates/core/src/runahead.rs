@@ -221,6 +221,23 @@ impl<'p> Runahead<'p> {
         (self.into_report(), regs, mem)
     }
 
+    /// Runs with tracing *and* returns the final architectural state —
+    /// one simulation serving both the retirement-order and final-state
+    /// halves of a differential check (see `ff-verify`).
+    #[must_use]
+    pub fn run_traced_with_state(
+        mut self,
+        max_instrs: u64,
+    ) -> (SimReport, Trace, [u64; TOTAL_REGS], MemoryImage) {
+        let mut trace = Trace::new();
+        let mut handle = SinkHandle::on(&mut trace);
+        self.run_loop(max_instrs, &mut handle);
+        handle.finish();
+        let regs = self.regs;
+        let mem = self.mem_img.clone();
+        (self.into_report(), trace, regs, mem)
+    }
+
     fn run_loop(&mut self, max_instrs: u64, sink: &mut SinkHandle) {
         let cycle_cap = max_instrs.saturating_mul(500).max(1_000_000);
         let mut last_class: Option<CycleClass> = None;
@@ -329,9 +346,14 @@ impl<'p> Runahead<'p> {
                 }
             }
         }
-        if let Some((class, stall_pc, until, attr)) = block {
+        if let Some((class, _stall_pc, until, attr)) = block {
             if class == CycleClass::LoadStall {
-                self.enter_runahead(stall_pc, until, attr, sink);
+                // The whole group stalls (EPIC group-at-once issue), so
+                // the episode must refetch from the group *head*: the
+                // blocked instruction may be a later member, and any
+                // members before it have not executed architecturally.
+                let head_pc = self.frontend.peek(0).pc;
+                self.enter_runahead(head_pc, until, attr, sink);
             }
             return (class, attr);
         }
@@ -701,6 +723,35 @@ mod tests {
         assert_eq!(&regs, interp.reg_bits());
         assert_eq!(&sim_mem, interp.mem());
         assert_eq!(report.breakdown.total(), report.cycles);
+    }
+
+    #[test]
+    fn stall_mid_group_resumes_at_group_head() {
+        // The stalled use sits *behind* an independent instruction in its
+        // issue group. The episode must refetch from the group head, or
+        // the independent instruction is skipped forever (regression:
+        // resume_pc used to be the blocked member's pc).
+        let mut b = ProgramBuilder::new();
+        b.movi(r(1), 0x10_0000);
+        b.movi(r(6), 7);
+        b.stop();
+        b.ld8(r(4), r(1), 0); // cold miss
+        b.stop();
+        b.movi(r(5), 1); // independent group head
+        b.add(r(7), r(4), r(6)); // stall-on-use, second group member
+        b.stop();
+        b.halt();
+        let program = b.build().unwrap();
+        let mut mem = MemoryImage::new();
+        mem.write_u64(0x10_0000, 35);
+
+        let mut interp = ArchState::new(&program, mem.clone());
+        interp.run(1_000);
+        let (report, regs, _) = Runahead::new(&program, mem, cfg()).run_with_state(1_000);
+        assert_eq!(report.retired, interp.instr_count());
+        assert_eq!(&regs, interp.reg_bits());
+        let r5 = ff_isa::RegId::Int(r(5)).index();
+        assert_eq!(regs[r5], 1, "group head must retire after the episode");
     }
 
     #[test]

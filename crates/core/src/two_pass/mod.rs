@@ -247,6 +247,23 @@ impl<'p> TwoPass<'p> {
         (self.into_report(), regs, mem)
     }
 
+    /// Runs with tracing *and* returns the final architectural state —
+    /// one simulation serving both the retirement-order and final-state
+    /// halves of a differential check (see `ff-verify`).
+    #[must_use]
+    pub fn run_traced_with_state(
+        mut self,
+        max_instrs: u64,
+    ) -> (SimReport, Trace, [u64; TOTAL_REGS], MemoryImage) {
+        let mut trace = Trace::new();
+        let mut handle = SinkHandle::on(&mut trace);
+        self.run_loop(max_instrs, &mut handle);
+        handle.finish();
+        let regs = self.b_regs;
+        let mem = self.mem_img.clone();
+        (self.into_report(), trace, regs, mem)
+    }
+
     fn run_loop(&mut self, max_instrs: u64, sink: &mut SinkHandle) {
         // A forward-progress guard: any livelock is a simulator bug and
         // must surface as a panic, not a hang.
@@ -269,8 +286,15 @@ impl<'p> TwoPass<'p> {
                 self.drain_pending_misses(sink);
             }
             let (class, attr) = self.b_step(sink);
+            #[cfg(feature = "audit")]
+            let b_fingerprint = self.audit_b_fingerprint();
             if !self.halted {
                 self.a_step(sink);
+            }
+            #[cfg(feature = "audit")]
+            {
+                self.audit_a_isolation(b_fingerprint);
+                self.audit_cq_discipline();
             }
             self.breakdown.charge(class);
             self.breakdown2.charge(attr.cause);
@@ -596,6 +620,17 @@ impl<'p> TwoPass<'p> {
         if is_fp {
             self.stats.fp_retired += 1;
         }
+        #[cfg(feature = "audit")]
+        if let CqState::Executed { ready_at, .. } = entry.state {
+            assert!(
+                ready_at <= self.cycle,
+                "audit: pc {} (seq {}) merges at cycle {} but its A-pipe result \
+                 is not ready until cycle {ready_at}",
+                entry.pc,
+                entry.seq,
+                self.cycle
+            );
+        }
         match entry.state {
             CqState::Executed { writes, load, store, branch, .. } => {
                 for w in writes.iter() {
@@ -657,6 +692,8 @@ impl<'p> TwoPass<'p> {
         let lat = d.latency;
         let cause = d.dep_cause;
         let has_qp = d.insn.qp.is_some();
+        #[cfg(feature = "audit")]
+        self.audit_deferred_sources(entry.pc);
         let effect = evaluate(&d.insn, &self.b_regs);
         match effect {
             Effect::Nullified | Effect::Nop => {}
@@ -1108,6 +1145,90 @@ impl<'p> TwoPass<'p> {
             },
             false,
         )
+    }
+}
+
+/// Per-cycle invariant auditing (the `audit` cargo feature).
+///
+/// These checks assert the model's internal contracts every simulated
+/// cycle and panic on the first violation. They cost real time and are
+/// compiled out by default; `ff-verify --features audit` (or any build
+/// with `ff-core/audit`) turns them on for every two-pass simulation.
+#[cfg(feature = "audit")]
+impl TwoPass<'_> {
+    /// FNV-1a fingerprint of the B-visible architectural registers,
+    /// snapshotted between the B-step and the A-step of one cycle.
+    fn audit_b_fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &bits in self.b_regs.iter() {
+            h ^= bits;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// A-pipe isolation: the A-step must never update B-visible register
+    /// state — A-pipe results reach the B-file only by merging through
+    /// the coupling queue. (A-pipe stores are likewise confined to the
+    /// speculative store buffer; memory is cross-checked end-to-end by
+    /// `ff-verify`'s differential oracle rather than per cycle.)
+    fn audit_a_isolation(&self, before: u64) {
+        assert!(
+            self.audit_b_fingerprint() == before,
+            "audit: A-step mutated B-visible registers at cycle {}",
+            self.cycle
+        );
+    }
+
+    /// Coupling-queue FIFO discipline: sequence numbers strictly
+    /// increase from head to tail (program order, no duplicates even
+    /// across flushes) and enqueue cycles never decrease.
+    fn audit_cq_discipline(&self) {
+        let mut prev: Option<(u64, u64)> = None;
+        for e in self.cq.iter() {
+            if let Some((seq, enq)) = prev {
+                assert!(
+                    e.seq > seq,
+                    "audit: coupling queue out of order at cycle {}: seq {} follows seq {seq}",
+                    self.cycle,
+                    e.seq
+                );
+                assert!(
+                    e.enq_cycle >= enq,
+                    "audit: coupling queue enqueue cycles regress at cycle {}: \
+                     seq {} enqueued at {} after {enq}",
+                    self.cycle,
+                    e.seq,
+                    e.enq_cycle
+                );
+            }
+            assert!(
+                e.enq_cycle <= self.cycle,
+                "audit: coupling queue entry seq {} enqueued in the future ({} > {})",
+                e.seq,
+                e.enq_cycle,
+                self.cycle
+            );
+            prev = Some((e.seq, e.enq_cycle));
+        }
+    }
+
+    /// B-side scoreboard discipline: a deferred instruction executes
+    /// only once every source register's producer latency has elapsed
+    /// (the bundle dependence check must have stalled or split first).
+    fn audit_deferred_sources(&self, pc: usize) {
+        let d = self.code.at(pc);
+        for src in d.srcs.iter() {
+            let idx = src.index();
+            assert!(
+                self.b_ready[idx] <= self.cycle,
+                "audit: deferred pc {pc} reads {src} at cycle {} before its \
+                 producer (pc {}) completes at cycle {}",
+                self.cycle,
+                self.b_pc[idx],
+                self.b_ready[idx]
+            );
+        }
     }
 }
 

@@ -1,6 +1,6 @@
 //! Instructions: an operation plus EPIC schedule annotations.
 
-use crate::op::{Opcode, RegList};
+use crate::op::{FuClass, LatencyClass, Opcode, RegList};
 use crate::reg::{PredReg, RegId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -70,6 +70,58 @@ impl Instruction {
     pub fn dests(&self) -> RegList {
         self.op.dests()
     }
+
+    /// Extracts this instruction's static analysis facts in one walk.
+    ///
+    /// This is the single shared definition of "what does this
+    /// instruction read, write, and occupy" used by both the pipeline
+    /// models (`ff-core`'s pre-decoded program store) and the static
+    /// legality checker (`ff-verify`); keep additions here so the two
+    /// never drift.
+    #[must_use]
+    pub fn facts(&self) -> InsnFacts {
+        InsnFacts {
+            srcs: self.sources(),
+            op_srcs: self.op.sources(),
+            dests: self.dests(),
+            fu: self.op.fu_class(),
+            lc: self.op.latency_class(),
+            is_load: self.op.is_load(),
+            is_store: self.op.is_store(),
+            is_branch: self.op.is_branch(),
+            is_fp: self.op.is_fp(),
+            is_halt: matches!(self.op, Opcode::Halt),
+        }
+    }
+}
+
+/// Statically derivable facts about one instruction: operand registers,
+/// functional-unit class, latency class, and kind flags.
+///
+/// Produced by [`Instruction::facts`]; see there for why this lives in
+/// `ff-isa` rather than in each analysis client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsnFacts {
+    /// All sources, *including* the qualifying predicate.
+    pub srcs: RegList,
+    /// Operation sources only (excludes the qualifying predicate).
+    pub op_srcs: RegList,
+    /// Destination registers.
+    pub dests: RegList,
+    /// Functional-unit class, for slot packing.
+    pub fu: FuClass,
+    /// Coarse latency class (the machine config maps it to cycles).
+    pub lc: LatencyClass,
+    /// Whether this is a load (integer or FP).
+    pub is_load: bool,
+    /// Whether this is a store (integer or FP).
+    pub is_store: bool,
+    /// Whether this is a branch.
+    pub is_branch: bool,
+    /// Whether this uses the FP subpipeline.
+    pub is_fp: bool,
+    /// Whether this is `halt`.
+    pub is_halt: bool,
 }
 
 impl From<Opcode> for Instruction {
@@ -138,6 +190,42 @@ mod tests {
         assert!(insn.stop);
         assert!(insn.qp.is_none());
         assert_eq!(insn.dests().len(), 2);
+    }
+
+    #[test]
+    fn facts_agree_with_per_field_derivation() {
+        let insns = [
+            Instruction::new(Opcode::Add { d: IntReg::n(1), a: IntReg::n(2), b: IntReg::n(3) })
+                .predicated(PredReg::n(5)),
+            Instruction::new(Opcode::Ld {
+                d: IntReg::n(4),
+                base: IntReg::n(2),
+                off: 8,
+                size: MemSize::B8,
+                signed: false,
+            }),
+            Instruction::new(Opcode::St {
+                src: IntReg::n(1),
+                base: IntReg::n(2),
+                off: 0,
+                size: MemSize::B4,
+            }),
+            Instruction::new(Opcode::Br { target: 0 }),
+            Instruction::new(Opcode::Halt),
+        ];
+        for insn in insns {
+            let f = insn.facts();
+            assert_eq!(f.srcs, insn.sources());
+            assert_eq!(f.op_srcs, insn.op.sources());
+            assert_eq!(f.dests, insn.dests());
+            assert_eq!(f.fu, insn.op.fu_class());
+            assert_eq!(f.lc, insn.op.latency_class());
+            assert_eq!(f.is_load, insn.op.is_load());
+            assert_eq!(f.is_store, insn.op.is_store());
+            assert_eq!(f.is_branch, insn.op.is_branch());
+            assert_eq!(f.is_fp, insn.op.is_fp());
+            assert_eq!(f.is_halt, matches!(insn.op, Opcode::Halt));
+        }
     }
 
     #[test]

@@ -43,6 +43,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 #![warn(missing_debug_implementations)]
 
 pub mod asm;
@@ -57,7 +58,7 @@ pub mod semantics;
 
 pub use asm::{parse_program, ParseAsmError};
 pub use builder::{BuildProgramError, Label, ProgramBuilder};
-pub use insn::Instruction;
+pub use insn::{InsnFacts, Instruction};
 pub use interp::{ArchState, RunSummary, StopReason};
 pub use mem_image::MemoryImage;
 pub use op::{CmpKind, FuClass, LatencyClass, MemSize, Opcode, RegList};

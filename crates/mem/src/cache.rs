@@ -1,7 +1,7 @@
 //! Set-associative cache tag arrays.
 //!
 //! The simulator tracks hit/miss behaviour and dirty-line eviction; data
-//! itself lives in the functional [`ff_isa::MemoryImage`]. Tags update at
+//! itself lives in the functional `ff_isa::MemoryImage`. Tags update at
 //! access time ("fill on access") while the latency of a miss is charged
 //! by the pipeline's timing model — the standard split for cycle-level
 //! simulators of this class.

@@ -18,6 +18,7 @@
 //! consume.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 #![warn(missing_debug_implementations)]
 
 pub mod alat;

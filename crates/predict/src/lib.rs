@@ -13,6 +13,7 @@
 //! without speculative-history checkpointing.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 #![warn(missing_debug_implementations)]
 
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,275 @@
+//! `ff_verify` — static EPIC legality checking and differential auditing.
+//!
+//! ```text
+//! ff_verify lint <kernel> [--scale tiny|test|ref] [--strict] [--json]
+//! ff_verify all           [--scale tiny|test|ref] [--strict] [--json]
+//! ff_verify random <N>    [--strict] [--json]
+//! ff_verify oracle <N>    [--budget B] [--json]
+//! ```
+//!
+//! `lint` runs the static checker over one paper kernel (by kernel name
+//! or SPEC reference); `all` covers the whole Table 2 suite plus every
+//! structural fixture of the random generator; `random` lints `N`
+//! generator seeds; `oracle` runs the full differential oracle
+//! (interpreter vs. all pipeline models) over `N` random seeds.
+//!
+//! Exit status is nonzero if any *error* diagnostic fires, any oracle
+//! divergence is found, or — under `--strict` — any diagnostic at all.
+
+use ff_core::MachineConfig;
+use ff_isa::Program;
+use ff_verify::{analyze_program, differential_oracle, AnalysisReport, Severity};
+use ff_workloads::random::{random_program, GeneratorConfig};
+use ff_workloads::Scale;
+use serde::Serialize;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  ff_verify lint <kernel> [--scale tiny|test|ref] [--strict] [--json]
+  ff_verify all           [--scale tiny|test|ref] [--strict] [--json]
+  ff_verify random <N>    [--strict] [--json]
+  ff_verify oracle <N>    [--budget B] [--json]";
+
+const ORACLE_BUDGET: u64 = 2_000_000;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("lint") => lint_cmd(&args[1..]),
+        Some("all") => all_cmd(&args[1..]),
+        Some("random") => random_cmd(&args[1..]),
+        Some("oracle") => oracle_cmd(&args[1..]),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses a `--flag value` pair out of `args`.
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} requires a value\n{USAGE}"));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(v))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Removes a boolean `--flag`, returning whether it was present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+fn take_scale(args: &mut Vec<String>) -> Result<Scale, String> {
+    match take_opt(args, "--scale")?.as_deref() {
+        None => Ok(Scale::Tiny),
+        Some(s) => Scale::parse(s).ok_or_else(|| format!("unknown scale `{s}`\n{USAGE}")),
+    }
+}
+
+/// One linted program in `--json` output.
+#[derive(Debug, Serialize)]
+struct TargetJson {
+    target: String,
+    errors: usize,
+    warnings: usize,
+    infos: usize,
+    diagnostics: Vec<DiagnosticJson>,
+}
+
+#[derive(Debug, Serialize)]
+struct DiagnosticJson {
+    check: String,
+    severity: String,
+    pc: Option<usize>,
+    message: String,
+}
+
+fn target_json(target: &str, report: &AnalysisReport) -> TargetJson {
+    TargetJson {
+        target: target.to_string(),
+        errors: report.errors(),
+        warnings: report.warnings(),
+        infos: report.count(Severity::Info),
+        diagnostics: report
+            .diagnostics
+            .iter()
+            .map(|d| DiagnosticJson {
+                check: d.check.code().to_string(),
+                severity: d.severity.label().to_string(),
+                pc: d.pc,
+                message: d.message.clone(),
+            })
+            .collect(),
+    }
+}
+
+/// Whether `report` passes under the chosen strictness.
+fn passes(report: &AnalysisReport, strict: bool) -> bool {
+    if strict {
+        report.diagnostics.is_empty()
+    } else {
+        report.is_legal()
+    }
+}
+
+/// Lints one named program, printing findings; returns pass/fail.
+fn lint_one(
+    name: &str,
+    program: &Program,
+    cfg: &MachineConfig,
+    strict: bool,
+    json_out: Option<&mut Vec<TargetJson>>,
+) -> bool {
+    let report = analyze_program(program, cfg);
+    let ok = passes(&report, strict);
+    if let Some(out) = json_out {
+        out.push(target_json(name, &report));
+    } else if report.diagnostics.is_empty() {
+        println!(
+            "{name}: clean ({} instructions, {} groups)",
+            program.len(),
+            program.group_count()
+        );
+    } else {
+        println!(
+            "{name}: {} error(s), {} warning(s), {} info(s)",
+            report.errors(),
+            report.warnings(),
+            report.count(Severity::Info)
+        );
+        print!("{}", report.render(program));
+    }
+    ok
+}
+
+fn lint_cmd(args: &[String]) -> Result<bool, String> {
+    let mut args = args.to_vec();
+    let scale = take_scale(&mut args)?;
+    let strict = take_flag(&mut args, "--strict");
+    let json = take_flag(&mut args, "--json");
+    let [name] = args.as_slice() else {
+        return Err(format!("lint takes one kernel name\n{USAGE}"));
+    };
+    let w = ff_workloads::benchmark_by_name(name, scale)
+        .ok_or_else(|| format!("unknown benchmark `{name}` (try e.g. `mcf-like` or `181.mcf`)"))?;
+    let cfg = MachineConfig::paper_table1();
+    let mut sink = json.then(Vec::new);
+    let ok = lint_one(w.name, &w.program, &cfg, strict, sink.as_mut());
+    if let Some(sink) = sink {
+        println!("{}", serde_json::to_string_pretty(&sink).expect("serializable report"));
+    }
+    Ok(ok)
+}
+
+fn all_cmd(args: &[String]) -> Result<bool, String> {
+    let mut args = args.to_vec();
+    let scale = take_scale(&mut args)?;
+    let strict = take_flag(&mut args, "--strict");
+    let json = take_flag(&mut args, "--json");
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments: {args:?}\n{USAGE}"));
+    }
+    let cfg = MachineConfig::paper_table1();
+    let mut sink = json.then(Vec::new);
+    let mut ok = true;
+    for w in ff_workloads::paper_benchmarks(scale) {
+        ok &= lint_one(w.name, &w.program, &cfg, strict, sink.as_mut());
+    }
+    if let Some(sink) = sink {
+        println!("{}", serde_json::to_string_pretty(&sink).expect("serializable report"));
+    } else if ok {
+        println!("all kernels pass");
+    }
+    Ok(ok)
+}
+
+fn random_cmd(args: &[String]) -> Result<bool, String> {
+    let mut args = args.to_vec();
+    let strict = take_flag(&mut args, "--strict");
+    let json = take_flag(&mut args, "--json");
+    let [n] = args.as_slice() else {
+        return Err(format!("random takes a seed count\n{USAGE}"));
+    };
+    let n: u64 = n.parse().map_err(|e| format!("bad seed count: {e}"))?;
+    let cfg = MachineConfig::paper_table1();
+    let gen_cfg = GeneratorConfig::default();
+    let mut sink = json.then(Vec::new);
+    let mut ok = true;
+    for seed in 0..n {
+        let (program, _) = random_program(seed, &gen_cfg);
+        ok &= lint_one(&format!("random-{seed}"), &program, &cfg, strict, sink.as_mut());
+    }
+    if let Some(sink) = sink {
+        println!("{}", serde_json::to_string_pretty(&sink).expect("serializable report"));
+    } else if ok {
+        println!("{n} random programs pass");
+    }
+    Ok(ok)
+}
+
+#[derive(Debug, Serialize)]
+struct OracleJson {
+    seed: u64,
+    instrs: u64,
+    halted: bool,
+    failures: Vec<String>,
+}
+
+fn oracle_cmd(args: &[String]) -> Result<bool, String> {
+    let mut args = args.to_vec();
+    let json = take_flag(&mut args, "--json");
+    let budget = take_opt(&mut args, "--budget")?
+        .map(|v| v.parse::<u64>().map_err(|e| format!("bad --budget: {e}")))
+        .transpose()?
+        .unwrap_or(ORACLE_BUDGET);
+    let [n] = args.as_slice() else {
+        return Err(format!("oracle takes a seed count\n{USAGE}"));
+    };
+    let n: u64 = n.parse().map_err(|e| format!("bad seed count: {e}"))?;
+    let cfg = MachineConfig::paper_table1();
+    let gen_cfg = GeneratorConfig::default();
+    let mut rows = Vec::new();
+    let mut ok = true;
+    for seed in 0..n {
+        let (program, mem) = random_program(seed, &gen_cfg);
+        let report = differential_oracle(&program, &mem, &cfg, budget);
+        ok &= report.ok();
+        if json {
+            rows.push(OracleJson {
+                seed,
+                instrs: report.instrs,
+                halted: report.halted,
+                failures: report.failures.iter().map(ToString::to_string).collect(),
+            });
+        } else if report.ok() {
+            println!("seed {seed}: ok ({} instructions)", report.instrs);
+        } else {
+            println!("seed {seed}: DIVERGED");
+            for f in &report.failures {
+                println!("  {f}");
+            }
+        }
+    }
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+    } else if ok {
+        println!("{n} seeds match across all models");
+    }
+    Ok(ok)
+}

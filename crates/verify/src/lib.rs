@@ -1,0 +1,35 @@
+//! # ff-verify — static legality checking and invariant auditing
+//!
+//! Verification layer for the flea-flicker reproduction, in two halves:
+//!
+//! * [`static_check`] — a static analyzer over `ff-isa` programs
+//!   enforcing the EPIC contract the simulators assume: issue groups
+//!   free of intra-group RAW/WAW dependences (with predicate-aware
+//!   refinement for if-converted diamonds), structurally sound control
+//!   flow, whole-program dataflow hygiene (no reads of never-defined
+//!   registers, no fully dead writes, no unreachable groups), and
+//!   per-group functional-unit demand within the machine's slot mix.
+//!   Findings are structured [`diag::Diagnostic`]s with stable check
+//!   codes, renderable as annotated issue-group listings.
+//! * [`oracle`] — a dynamic differential oracle running each program
+//!   through the golden interpreter and all pipeline models, demanding
+//!   bit-identical final state and identical retirement order.
+//!
+//! The `ff_verify` CLI fronts both: it lints the ten paper kernels,
+//! random generator output, and runs the oracle over random seeds.
+//!
+//! Building with the `audit` feature additionally enables `ff-core`'s
+//! per-cycle invariant checks (coupling-queue FIFO discipline, A-pipe
+//! isolation, scoreboard latency accounting) inside every simulation.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod diag;
+pub mod oracle;
+pub mod static_check;
+
+pub use diag::{AnalysisReport, Check, Diagnostic, Severity};
+pub use oracle::{differential_oracle, OracleFailure, OracleReport};
+pub use static_check::{analyze_instructions, analyze_program};

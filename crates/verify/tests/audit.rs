@@ -1,0 +1,35 @@
+//! Per-cycle invariant auditing, compiled only under the `audit`
+//! feature (`cargo test -p ff-verify --features audit`). The hooks live
+//! inside `ff-core`'s two-pass model and panic on the first violation,
+//! so "the simulation completes" is the assertion: coupling-queue FIFO
+//! discipline, A-pipe isolation from B-visible state, and scoreboard
+//! latency accounting all held on every simulated cycle.
+#![cfg(feature = "audit")]
+
+use ff_core::{MachineConfig, TwoPass};
+use ff_verify::differential_oracle;
+use ff_workloads::random::{random_program, GeneratorConfig};
+use ff_workloads::Scale;
+
+#[test]
+fn kernels_pass_audited_two_pass() {
+    for w in ff_workloads::paper_benchmarks(Scale::Tiny) {
+        for regroup in [false, true] {
+            let mut cfg = MachineConfig::paper_table1();
+            cfg.two_pass.regroup = regroup;
+            let report = TwoPass::new(&w.program, w.memory.clone(), cfg).run(w.budget);
+            assert!(report.retired > 0, "{} retired nothing", w.name);
+        }
+    }
+}
+
+#[test]
+fn random_programs_pass_audited_oracle() {
+    let cfg = MachineConfig::paper_table1();
+    let gen_cfg = GeneratorConfig::default();
+    for seed in 0..25 {
+        let (program, mem) = random_program(seed, &gen_cfg);
+        let report = differential_oracle(&program, &mem, &cfg, 500_000);
+        assert!(report.ok(), "seed {seed}: {:?}", report.failures);
+    }
+}

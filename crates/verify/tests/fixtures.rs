@@ -1,0 +1,178 @@
+//! Negative-fixture corpus: one intentionally illegal (or hygienically
+//! defective) instruction sequence per static check, proving each
+//! diagnostic actually fires. The clean-program fixture at the end
+//! proves the corpus is not vacuously matching everything.
+
+use ff_core::MachineConfig;
+use ff_isa::reg::{IntReg, PredReg};
+use ff_isa::{CmpKind, Instruction, Opcode};
+use ff_verify::{analyze_instructions, Check, Severity};
+
+fn cfg() -> MachineConfig {
+    MachineConfig::paper_table1()
+}
+
+fn r(i: u8) -> IntReg {
+    IntReg::n(i)
+}
+
+fn p(i: u8) -> PredReg {
+    PredReg::n(i)
+}
+
+fn movi(d: u8, imm: i64) -> Instruction {
+    Instruction::new(Opcode::MovI { d: r(d), imm })
+}
+
+fn halt() -> Instruction {
+    Instruction::new(Opcode::Halt)
+}
+
+/// Asserts the fixture raises `check`, returning the full report for
+/// further severity assertions.
+fn fires(instrs: &[Instruction], check: Check) -> ff_verify::AnalysisReport {
+    let rep = analyze_instructions(instrs, &cfg());
+    assert!(rep.has(check), "fixture for {} did not fire; got {:?}", check.code(), rep.diagnostics);
+    rep
+}
+
+#[test]
+fn empty_program() {
+    let rep = fires(&[], Check::Empty);
+    assert!(!rep.is_legal());
+}
+
+#[test]
+fn missing_terminator() {
+    let rep = fires(&[movi(1, 5).with_stop()], Check::MissingTerminator);
+    assert!(!rep.is_legal());
+}
+
+#[test]
+fn branch_target_out_of_range() {
+    let instrs =
+        vec![movi(1, 5).with_stop(), Instruction::new(Opcode::Br { target: 99 }).with_stop()];
+    let rep = fires(&instrs, Check::TargetOutOfRange);
+    assert!(!rep.is_legal());
+}
+
+#[test]
+fn branch_target_splits_group() {
+    // Target 2 lands mid-group (group is {1, 2}).
+    let instrs = vec![
+        movi(1, 5).with_stop(),
+        movi(2, 1),
+        movi(3, 2).with_stop(),
+        Instruction::new(Opcode::Br { target: 2 }).predicated(p(1)).with_stop(),
+        halt(),
+    ];
+    let rep = fires(&instrs, Check::TargetSplitsGroup);
+    assert!(!rep.is_legal());
+}
+
+#[test]
+fn intra_group_raw() {
+    let instrs = vec![
+        movi(1, 5),
+        Instruction::new(Opcode::AddI { d: r(2), a: r(1), imm: 1 }).with_stop(),
+        halt(),
+    ];
+    let rep = fires(&instrs, Check::GroupRaw);
+    assert!(!rep.is_legal());
+}
+
+#[test]
+fn intra_group_waw() {
+    let instrs = vec![movi(1, 5), movi(1, 6).with_stop(), halt()];
+    let rep = fires(&instrs, Check::GroupWaw);
+    assert!(!rep.is_legal());
+}
+
+#[test]
+fn duplicate_dest_within_one_instruction() {
+    // A compare whose pt and pf name the same predicate writes it twice.
+    let instrs = vec![
+        movi(1, 5).with_stop(),
+        Instruction::new(Opcode::CmpI { kind: CmpKind::Lt, pt: p(1), pf: p(1), a: r(1), imm: 0 })
+            .with_stop(),
+        halt(),
+    ];
+    let rep = fires(&instrs, Check::DuplicateDest);
+    assert!(!rep.is_legal());
+}
+
+#[test]
+fn undefined_read() {
+    let instrs =
+        vec![Instruction::new(Opcode::AddI { d: r(2), a: r(9), imm: 1 }).with_stop(), halt()];
+    let rep = fires(&instrs, Check::UndefinedRead);
+    // Hygiene, not illegality: the simulators still agree on power-on
+    // zero, so this must stay a warning (kernels are never edited).
+    assert!(rep.is_legal());
+    assert_eq!(rep.count(Severity::Warning), 1);
+}
+
+#[test]
+fn dead_write() {
+    let instrs = vec![movi(1, 5).with_stop(), movi(1, 6).with_stop(), halt()];
+    let rep = fires(&instrs, Check::DeadWrite);
+    assert!(rep.is_legal());
+}
+
+#[test]
+fn unreachable_group() {
+    let instrs = vec![
+        movi(1, 5).with_stop(),
+        Instruction::new(Opcode::Br { target: 3 }).with_stop(),
+        movi(2, 1).with_stop(), // no path reaches this group
+        halt(),
+    ];
+    let rep = fires(&instrs, Check::Unreachable);
+    assert!(rep.is_legal());
+}
+
+#[test]
+fn fu_oversubscribed() {
+    // Six ALU writes against the paper machine's five ALU slots.
+    let instrs = vec![
+        movi(1, 1),
+        movi(2, 2),
+        movi(3, 3),
+        movi(4, 4),
+        movi(5, 5),
+        movi(6, 6).with_stop(),
+        halt(),
+    ];
+    let rep = fires(&instrs, Check::FuOversubscribed);
+    assert!(rep.is_legal(), "multi-cycle issue is legal EPIC: {:?}", rep.diagnostics);
+}
+
+#[test]
+fn group_wider_than_issue_width() {
+    let instrs: Vec<Instruction> = (0..9)
+        .map(|i| {
+            let insn = movi(10 + i, i64::from(i));
+            if i == 8 {
+                insn.with_stop()
+            } else {
+                insn
+            }
+        })
+        .chain([halt()])
+        .collect();
+    let rep = fires(&instrs, Check::GroupTooWide);
+    assert!(rep.is_legal());
+}
+
+#[test]
+fn clean_fixture_raises_nothing() {
+    let instrs = vec![
+        movi(1, 5).with_stop(),
+        Instruction::new(Opcode::AddI { d: r(2), a: r(1), imm: 1 }).with_stop(),
+        Instruction::new(Opcode::St { src: r(2), base: r(1), off: 0, size: ff_isa::MemSize::B8 })
+            .with_stop(),
+        halt(),
+    ];
+    let rep = analyze_instructions(&instrs, &cfg());
+    assert!(rep.diagnostics.is_empty(), "{:?}", rep.diagnostics);
+}

@@ -29,6 +29,7 @@
 //! used by the cross-engine differential property tests.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 #![warn(missing_debug_implementations)]
 
 pub mod common;

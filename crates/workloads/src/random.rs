@@ -11,14 +11,18 @@
 
 use crate::common::fill_random_words;
 use ff_isa::reg::{FpReg, IntReg, PredReg};
-use ff_isa::{CmpKind, MemoryImage, Opcode, Program, ProgramBuilder, RegId};
+use ff_isa::{CmpKind, FuClass, MemoryImage, Opcode, Program, ProgramBuilder, RegId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Arena the generated memory ops stay inside.
 const ARENA_BASE: u64 = 0x2000_0000;
-/// 8-byte-aligned offset mask: 64 KB arena.
-const ARENA_MASK: i64 = 0xFFF8;
+/// Arena size in bytes (64 KB).
+const ARENA_SIZE: u64 = 0x1_0000;
+/// Pointer mask: 32-byte-aligned offsets so that even the widest access
+/// (`+24` word offset, 8-byte size) stays strictly inside the arena —
+/// every 8-aligned word is still reachable via the 0/8/16/24 offsets.
+const PTR_MASK: i64 = 0xFFE0;
 
 /// Tuning knobs for the generator.
 #[derive(Debug, Clone, Copy)]
@@ -56,12 +60,33 @@ struct Gen {
     group_dests: Vec<RegId>,
     /// Instructions in the currently open issue group.
     group_len: usize,
+    /// FU-class occupancy of the currently open issue group, indexed by
+    /// [`fu_index`].
+    group_fu: [usize; 4],
+    /// PWORK predicates some compare has defined so far (bit per pool
+    /// slot): only these may qualify later instructions, so generated
+    /// programs never read a power-on predicate.
+    defined_preds: u8,
 }
 
 /// Groups never exceed this many instructions (the machine is 8-issue;
 /// oversized groups would only test the engines' split paths, which the
 /// unit suites cover directly).
 const MAX_GROUP: usize = 6;
+
+/// Per-class FU slots of the paper's Table 1 machine (ALU, memory, FP,
+/// branch); groups stay within them so every generated group can issue
+/// in a single cycle.
+const FU_SLOTS: [usize; 4] = [5, 3, 3, 3];
+
+fn fu_index(class: FuClass) -> usize {
+    match class {
+        FuClass::Alu => 0,
+        FuClass::Mem => 1,
+        FuClass::Fp => 2,
+        FuClass::Branch => 3,
+    }
+}
 
 impl Gen {
     fn r(&mut self) -> IntReg {
@@ -76,8 +101,36 @@ impl Gen {
         PredReg::n(PWORK[self.rng.gen_range(0..PWORK.len())])
     }
 
+    /// Marks a predicate as compare-defined (no-op outside PWORK).
+    fn note_pred_defined(&mut self, p: PredReg) {
+        if let Some(i) = PWORK.iter().position(|&w| PredReg::n(w) == p) {
+            self.defined_preds |= 1 << i;
+        }
+    }
+
+    /// A uniformly random *defined* PWORK predicate, if any compare has
+    /// established one yet.
+    fn defined_p(&mut self) -> Option<PredReg> {
+        let n = self.defined_preds.count_ones();
+        if n == 0 {
+            return None;
+        }
+        let k = self.rng.gen_range(0..n);
+        let mut seen = 0;
+        for (i, &p) in PWORK.iter().enumerate() {
+            if self.defined_preds & (1 << i) != 0 {
+                if seen == k {
+                    return Some(PredReg::n(p));
+                }
+                seen += 1;
+            }
+        }
+        None
+    }
+
     /// Pushes `op` (optionally predicated), inserting a stop first if it
-    /// would create an intra-group RAW/WAW hazard.
+    /// would create an intra-group RAW/WAW hazard or exceed the group's
+    /// per-class FU slots.
     fn emit(&mut self, op: Opcode, qp: Option<PredReg>) {
         let mut insn = ff_isa::Instruction::new(op);
         insn.qp = qp;
@@ -86,7 +139,8 @@ impl Gen {
             .into_iter()
             .chain(insn.dests())
             .any(|reg| self.group_dests.contains(&reg));
-        if hazard || self.group_len >= MAX_GROUP {
+        let fu = fu_index(op.fu_class());
+        if hazard || self.group_len >= MAX_GROUP || self.group_fu[fu] >= FU_SLOTS[fu] {
             self.close_group();
         }
         for d in insn.dests() {
@@ -97,6 +151,7 @@ impl Gen {
         }
         self.b.push(op);
         self.group_len += 1;
+        self.group_fu[fu] += 1;
         // Occasionally end the group anyway, for variety.
         if self.rng.gen_bool(0.4) {
             self.close_group();
@@ -107,6 +162,7 @@ impl Gen {
         self.b.stop();
         self.group_dests.clear();
         self.group_len = 0;
+        self.group_fu = [0; 4];
     }
 
     /// One random non-memory, non-control operation.
@@ -134,7 +190,7 @@ impl Gen {
     /// work register, then returns the pointer register.
     fn emit_pointer(&mut self) -> IntReg {
         let src = self.r();
-        self.emit(Opcode::AndI { d: IntReg::n(TMP), a: src, imm: ARENA_MASK }, None);
+        self.emit(Opcode::AndI { d: IntReg::n(TMP), a: src, imm: PTR_MASK }, None);
         self.emit(Opcode::Add { d: IntReg::n(PTR), a: IntReg::n(BASE), b: IntReg::n(TMP) }, None);
         IntReg::n(PTR)
     }
@@ -165,13 +221,17 @@ impl Gen {
                     let (a, imm) = (self.r(), self.rng.gen_range(-50..50i64));
                     if pt != pf {
                         self.emit(Opcode::CmpI { kind: CmpKind::Lt, pt, pf, a, imm }, None);
+                        self.note_pred_defined(pt);
+                        self.note_pred_defined(pf);
                     }
                 }
-                // ...and predicated ALU ops consume them.
+                // ...and predicated ALU ops consume them (only ones some
+                // compare defined: a power-on predicate reads false and
+                // would silently nullify the instruction forever).
                 4 => {
-                    let qp = self.p();
+                    let qp = self.defined_p();
                     let op = self.random_alu();
-                    self.emit(op, Some(qp));
+                    self.emit(op, qp);
                 }
                 _ => {
                     let op = self.random_alu();
@@ -227,17 +287,26 @@ pub fn random_program(seed: u64, cfg: &GeneratorConfig) -> (Program, MemoryImage
         b: ProgramBuilder::new(),
         group_dests: Vec::new(),
         group_len: 0,
+        group_fu: [0; 4],
+        defined_preds: 0,
     };
 
-    // Prologue: arena base plus seeded work registers.
+    // Prologue: arena base plus seeded work registers, chunked to the
+    // machine's per-class FU slots so every group issues in one cycle.
     g.b.movi(IntReg::n(BASE), ARENA_BASE as i64);
     g.b.stop();
     for (i, &w) in WORK.iter().enumerate() {
+        if i > 0 && i % FU_SLOTS[fu_index(FuClass::Alu)] == 0 {
+            g.b.stop();
+        }
         let v = g.rng.gen_range(-1000..1000i64) * (i as i64 + 1);
         g.b.movi(IntReg::n(w), v);
     }
     g.b.stop();
-    for &fw in &FWORK {
+    for (i, &fw) in FWORK.iter().enumerate() {
+        if i > 0 && i % FU_SLOTS[fu_index(FuClass::Fp)] == 0 {
+            g.b.stop();
+        }
         let v = f64::from(g.rng.gen_range(-100..100i32)) / 8.0;
         g.b.fmovi(FpReg::n(fw), v);
     }
@@ -256,7 +325,7 @@ pub fn random_program(seed: u64, cfg: &GeneratorConfig) -> (Program, MemoryImage
     let program = g.b.build().expect("generated program is structurally valid");
 
     let mut memory = MemoryImage::new();
-    fill_random_words(&mut memory, ARENA_BASE, (ARENA_MASK as u64 + 8) / 8, seed ^ 0xA5A5);
+    fill_random_words(&mut memory, ARENA_BASE, ARENA_SIZE / 8, seed ^ 0xA5A5);
     (program, memory)
 }
 

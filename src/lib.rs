@@ -18,6 +18,8 @@
 //!   models with the paper's cycle accounting
 //! * [`workloads`] (`ff-workloads`) — ten synthetic SPEC-like kernels and
 //!   a random-program generator
+//! * [`verify`] (`ff-verify`) — static EPIC legality checking and the
+//!   dynamic differential oracle (`ff_verify` CLI)
 //!
 //! # Quick start
 //!
@@ -36,9 +38,11 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub use ff_core as core;
 pub use ff_isa as isa;
 pub use ff_mem as mem;
 pub use ff_predict as predict;
+pub use ff_verify as verify;
 pub use ff_workloads as workloads;

@@ -1,9 +1,9 @@
 //! Minimal, offline-compatible stand-in for the `proptest` crate.
 //!
 //! Implements the subset the workspace's property tests use: the
-//! [`Strategy`] trait over integer ranges / tuples / [`Just`] /
-//! [`any`] / `prop_oneof!` / `.prop_map` / `prop::collection::vec`,
-//! a [`ProptestConfig`] cases knob, and the [`proptest!`] /
+//! `Strategy` trait over integer ranges / tuples / `Just` /
+//! `any` / `prop_oneof!` / `.prop_map` / `prop::collection::vec`,
+//! a `ProptestConfig` cases knob, and the `proptest!` /
 //! `prop_assert*` macros. Unlike real proptest there is no shrinking
 //! and no failure persistence: a failing case panics with the plain
 //! assert message, and inputs are drawn from a deterministic per-case
