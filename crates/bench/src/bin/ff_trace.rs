@@ -9,6 +9,8 @@
 //! ff_trace queue    <trace.jsonl>
 //! ff_trace stalls   <trace.jsonl>
 //! ff_trace slip     <trace.jsonl>
+//! ff_trace pipeview <trace.jsonl> [--from C] [--to C] [--seq-from S] [--seq-to S]
+//! ff_trace konata   <trace.jsonl> [<out.kanata>]
 //! ff_trace snapshot <trace.jsonl> [--start C] [--end C]
 //! ff_trace chrome   <trace.jsonl> <out.json>
 //! ```
@@ -19,8 +21,13 @@
 //! hierarchical CPI stack (six classes refined into per-cause rows);
 //! `profile` ranks the static PCs the machine stalled on, `perf
 //! report`-style, annotating them with kernel source when `--bench` is
-//! given. `chrome` emits Chrome trace-event JSON loadable in Perfetto
-//! (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//! given. `pipeview` draws an ASCII pipeline diagram (one row per
+//! dynamic instruction, one column per cycle); `konata` exports the
+//! Kanata log format the Konata pipeline viewer
+//! (<https://github.com/shioyadan/Konata>) loads, with the A-pipe on
+//! lane 0 and the B-pipe on lane 1. `chrome` emits Chrome trace-event
+//! JSON loadable in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`.
 
 use ff_bench::traceview;
 use ff_core::{Baseline, CycleClass, JsonlSink, MachineConfig, Runahead, TraceEvent, TwoPass};
@@ -38,6 +45,8 @@ const USAGE: &str = "usage:
   ff_trace queue    <trace.jsonl>
   ff_trace stalls   <trace.jsonl>
   ff_trace slip     <trace.jsonl>
+  ff_trace pipeview <trace.jsonl> [--from C] [--to C] [--seq-from S] [--seq-to S]
+  ff_trace konata   <trace.jsonl> [<out.kanata>]
   ff_trace snapshot <trace.jsonl> [--start C] [--end C]
   ff_trace chrome   <trace.jsonl> <out.json>";
 
@@ -51,6 +60,8 @@ fn main() -> ExitCode {
         Some("queue") => analyze(&args[1..], |ev| print!("{}", render_queue(&ev))),
         Some("stalls") => analyze(&args[1..], |ev| print!("{}", render_stalls(&ev))),
         Some("slip") => analyze(&args[1..], |ev| print!("{}", render_slip(&ev))),
+        Some("pipeview") => pipeview_cmd(&args[1..]),
+        Some("konata") => konata_cmd(&args[1..]),
         Some("snapshot") => snapshot_cmd(&args[1..]),
         Some("chrome") => chrome_cmd(&args[1..]),
         _ => Err(USAGE.to_string()),
@@ -142,12 +153,14 @@ fn render_summary(events: &[TraceEvent]) -> String {
     let s = traceview::summarize(events);
     let mut out = String::new();
     out.push_str(&format!(
-        "events           {}\ncycles           {}\nA dispatches     {} ({} deferred)\n\
+        "events           {}\ncycles           {}\nfetches          {}\n\
+         A dispatches     {} ({} deferred)\n\
          B retires        {} ({} B-executed)\nissue groups     A={} B={}\n\
-         flushes          bdet={} store-conflict={}\nA redirects      {}\n\
+         flushes          bdet={} store-conflict={}\nsquashes         {}\nA redirects      {}\n\
          misses           L2={} L3={} Mem={}\nrunahead         episodes={} discarded={}\n",
         s.events,
         s.cycles,
+        s.fetches,
         s.dispatches,
         s.deferred,
         s.retires,
@@ -156,6 +169,7 @@ fn render_summary(events: &[TraceEvent]) -> String {
         s.groups[1],
         s.flushes[0],
         s.flushes[1],
+        s.squashes,
         s.redirects,
         s.misses[1],
         s.misses[2],
@@ -289,11 +303,78 @@ fn render_stalls(events: &[TraceEvent]) -> String {
 
 fn render_slip(events: &[TraceEvent]) -> String {
     let s = traceview::slip_stats(events);
+    let o = traceview::occupancy(events);
     let mut out = String::from("A-to-B slip (cycles from dispatch to retire)\n");
     out.push_str(&traceview::render_histogram(&s.slip));
+    if s.residency.count() > 0 {
+        out.push_str("coupling-queue residency (exact, per dequeued entry)\n");
+        out.push_str(&traceview::render_histogram(&s.residency));
+    }
     out.push_str("deferral run lengths (consecutive deferred dispatches)\n");
     out.push_str(&traceview::render_histogram(&s.deferral_runs));
+    // Little's-law reconciliation: the per-cycle queue-depth integral
+    // must be fully explained by per-instruction residency.
+    let integral = o.depth_hist.sum();
+    let accounted = s.accounted_queue_cycles();
+    out.push_str(&format!(
+        "queue-cycle reconciliation: occupancy integral={integral} accounted={accounted} \
+         (dequeued={} squashed={} leftover={}){}\n",
+        s.residency.sum(),
+        s.squashed_resident,
+        s.leftover_resident,
+        if integral == accounted { "" } else { "  <-- MISMATCH" },
+    ));
     out
+}
+
+fn pipeview_cmd(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let mut opts = traceview::PipeviewOpts::default();
+    let parse = |flag: &str, v: Option<String>| -> Result<Option<u64>, String> {
+        v.map(|v| v.parse::<u64>().map_err(|e| format!("bad {flag}: {e}"))).transpose()
+    };
+    if let Some(v) = parse("--from", take_opt(&mut args, "--from")?)? {
+        opts.from = v;
+        opts.to = v + 80;
+    }
+    if let Some(v) = parse("--to", take_opt(&mut args, "--to")?)? {
+        opts.to = v;
+    }
+    if let Some(v) = parse("--seq-from", take_opt(&mut args, "--seq-from")?)? {
+        opts.seq_from = v;
+    }
+    if let Some(v) = parse("--seq-to", take_opt(&mut args, "--seq-to")?)? {
+        opts.seq_to = v;
+    }
+    let [path] = args.as_slice() else {
+        return Err(format!("pipeview takes one trace path\n{USAGE}"));
+    };
+    let events = load(path)?;
+    print!("{}", traceview::pipeview(&events, opts));
+    Ok(())
+}
+
+fn konata_cmd(args: &[String]) -> Result<(), String> {
+    let (path, out) = match args {
+        [path] => (path, None),
+        [path, out] => (path, Some(out)),
+        _ => return Err(format!("konata takes a trace path and an optional output path\n{USAGE}")),
+    };
+    let events = load(path)?;
+    let text = traceview::konata(&events);
+    match out {
+        Some(out) => {
+            std::fs::write(out, &text).map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!(
+                "{} events -> {out} ({} bytes); open it in Konata \
+                 (https://github.com/shioyadan/Konata)",
+                events.len(),
+                text.len()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
 }
 
 fn snapshot_cmd(args: &[String]) -> Result<(), String> {

@@ -123,8 +123,16 @@ fn run() -> Result<ExitCode, String> {
         })
         .transpose()?;
 
+    let host = ff_bench::selfprof::HostInfo::detect();
     let profiler = measure(opts.scale);
-    println!("perf snapshot ({} scale)\n", opts.scale.label());
+    println!("perf snapshot ({} scale)", opts.scale.label());
+    let facet = |s: &str| if s.is_empty() { "unknown" } else { s }.to_string();
+    println!(
+        "host: {} | opt-level {} | {}\n",
+        facet(&host.rustc),
+        facet(&host.opt_level),
+        facet(&host.cpu)
+    );
     fmt::header(&[("section", 18), ("seconds", 9), ("instrs", 12), ("instrs/sec", 12)]);
     for s in profiler.sections() {
         println!(
@@ -136,10 +144,14 @@ fn run() -> Result<ExitCode, String> {
         );
     }
 
-    let snapshot = profiler.into_snapshot(opts.scale.label());
+    let mut snapshot = profiler.into_snapshot(opts.scale.label());
+    snapshot.host = host;
     let mut regressed = false;
     if let Some((path, prev)) = prev {
         println!("\nvs {} ({}, {} scale):", path.display(), prev.date, prev.scale);
+        if !prev.host.is_empty() && prev.host != snapshot.host {
+            println!("  note: host/toolchain differs from previous snapshot");
+        }
         if prev.scale != snapshot.scale {
             println!("  scale differs — comparison skipped");
         } else {

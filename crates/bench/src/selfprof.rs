@@ -115,23 +115,96 @@ impl SelfProfiler {
         rows
     }
 
-    /// Consumes the profiler into a dated snapshot.
+    /// Consumes the profiler into a dated snapshot stamped with the
+    /// current host's provenance.
     #[must_use]
     pub fn into_snapshot(self, scale: &str) -> PerfSnapshot {
-        PerfSnapshot { date: today_utc(), scale: scale.to_string(), sections: self.sections }
+        PerfSnapshot {
+            date: today_utc(),
+            scale: scale.to_string(),
+            host: HostInfo::detect(),
+            sections: self.sections,
+        }
+    }
+}
+
+/// Build/host provenance recorded alongside each snapshot, so a
+/// BENCH_*.json from a different toolchain or machine is never read as
+/// a regression of the simulator itself.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostInfo {
+    /// `rustc -V` banner of the toolchain in `PATH` when the snapshot
+    /// was taken (empty when unknown — e.g. a pre-provenance snapshot).
+    pub rustc: String,
+    /// Optimization level the measuring binary was built at, inferred
+    /// from the compiled-in profile (`debug-assertions` ⇒ dev).
+    pub opt_level: String,
+    /// CPU model string from `/proc/cpuinfo` (empty when unknown).
+    pub cpu: String,
+}
+
+impl HostInfo {
+    /// Probes the current host and build. Never fails: unknown facets
+    /// come back as empty strings so old and exotic hosts still snapshot.
+    #[must_use]
+    pub fn detect() -> HostInfo {
+        let rustc = std::process::Command::new("rustc")
+            .arg("-V")
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+            .unwrap_or_default();
+        let opt_level =
+            if cfg!(debug_assertions) { "0 (dev)".to_string() } else { "3 (release)".to_string() };
+        let cpu = std::fs::read_to_string("/proc/cpuinfo")
+            .ok()
+            .and_then(|text| {
+                text.lines()
+                    .find(|l| l.starts_with("model name"))
+                    .and_then(|l| l.split_once(':').map(|(_, v)| v.trim().to_string()))
+            })
+            .unwrap_or_default();
+        HostInfo { rustc, opt_level, cpu }
+    }
+
+    /// True when no facet could be probed (or the snapshot predates
+    /// provenance recording).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rustc.is_empty() && self.opt_level.is_empty() && self.cpu.is_empty()
     }
 }
 
 /// One dated self-performance measurement, serialized to
 /// `BENCH_<date>.json` by `perf_snapshot`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct PerfSnapshot {
     /// UTC date the snapshot was taken, `YYYY-MM-DD`.
     pub date: String,
     /// Workload scale the measurement ran at (`tiny`/`test`/`ref`).
     pub scale: String,
+    /// Build/host provenance ([`HostInfo::is_empty`] for snapshots that
+    /// predate it).
+    pub host: HostInfo,
     /// Timed components.
     pub sections: Vec<Section>,
+}
+
+// Hand-written so BENCH_*.json files from before provenance recording
+// (no "host" key) still load: the derive would reject the missing field.
+impl Deserialize for PerfSnapshot {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(PerfSnapshot {
+            date: Deserialize::from_value(v.field("date")?)?,
+            scale: Deserialize::from_value(v.field("scale")?)?,
+            host: match v.get("host") {
+                Some(h) => Deserialize::from_value(h)?,
+                None => HostInfo::default(),
+            },
+            sections: Deserialize::from_value(v.field("sections")?)?,
+        })
+    }
 }
 
 /// One section's change between two snapshots.
@@ -237,6 +310,7 @@ mod tests {
         PerfSnapshot {
             date: "2026-01-01".into(),
             scale: "tiny".into(),
+            host: HostInfo::default(),
             sections: sections
                 .iter()
                 .map(|&(n, s, i)| Section { name: n.into(), seconds: s, instrs: i })
@@ -262,10 +336,33 @@ mod tests {
 
     #[test]
     fn snapshot_round_trips_through_json() {
-        let s = snap(&[("sim.base", 0.5, 42)]);
+        let mut s = snap(&[("sim.base", 0.5, 42)]);
+        s.host = HostInfo {
+            rustc: "rustc 1.99.0".into(),
+            opt_level: "3 (release)".into(),
+            cpu: "Test CPU".into(),
+        };
         let json = serde_json::to_string(&s).unwrap();
         let back: PerfSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn pre_provenance_snapshots_still_parse() {
+        // A BENCH_*.json written before the `host` field existed.
+        let old = r#"{"date":"2026-01-01","scale":"tiny",
+            "sections":[{"name":"sim.base","seconds":0.5,"instrs":42}]}"#;
+        let back: PerfSnapshot = serde_json::from_str(old).unwrap();
+        assert!(back.host.is_empty(), "missing host must default, got {:?}", back.host);
+        assert_eq!(back.sections.len(), 1);
+        assert_eq!(back.date, "2026-01-01");
+    }
+
+    #[test]
+    fn host_detection_never_fails() {
+        let host = HostInfo::detect();
+        // opt_level is always derivable from the compiled profile.
+        assert!(!host.opt_level.is_empty());
     }
 
     #[test]

@@ -21,10 +21,12 @@
 //! `[tiny|test|ref] [--scale S] [--jobs N|max] [--filter GLOB]
 //! [--no-cache] [--cache-dir DIR] [--json]`.
 
+use std::io::IsTerminal;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use ff_workloads::Scale;
 use serde::{Deserialize, Serialize, Value};
@@ -229,6 +231,23 @@ pub struct SweepStats {
     pub cached: usize,
     /// Cells whose simulation panicked.
     pub failed: usize,
+    /// Wall-clock time of the whole sweep, in milliseconds.
+    pub wall_ms: u64,
+}
+
+impl SweepStats {
+    /// Cells satisfied from the result cache (alias of `cached`, named
+    /// to match the `--json` summary counter).
+    #[must_use]
+    pub fn cache_hits(&self) -> usize {
+        self.cached
+    }
+
+    /// Cells the cache could not satisfy (simulated or failed).
+    #[must_use]
+    pub fn cache_misses(&self) -> usize {
+        self.computed + self.failed
+    }
 }
 
 /// The outcome of one sweep: per-cell results in grid order plus stats.
@@ -256,6 +275,7 @@ pub fn run_sweep<R>(experiment: &str, opts: &SweepOpts, cells: Vec<Cell<R>>) -> 
 where
     R: Serialize + Deserialize + Send,
 {
+    let started = Instant::now();
     let mut stats = SweepStats { grid: cells.len(), ..SweepStats::default() };
     let cells: Vec<Cell<R>> = match &opts.filter {
         Some(pat) => {
@@ -293,6 +313,7 @@ where
             pending.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let workers = opts.jobs.min(pending.len()).max(1);
+        let progress = Progress::new(experiment, pending.len(), slots.len(), started);
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| loop {
@@ -301,9 +322,11 @@ where
                     let cell = &cells[cell_idx];
                     let out = catch_unwind(AssertUnwindSafe(|| (cell.run)()));
                     *computed[slot].lock().unwrap() = Some(out.map_err(|p| panic_message(&*p)));
+                    progress.tick();
                 });
             }
         });
+        progress.finish();
         for (slot, &cell_idx) in pending.iter().enumerate() {
             let result = computed[slot]
                 .lock()
@@ -344,19 +367,101 @@ where
         });
     }
 
-    eprintln!(
-        "sweep {experiment}: {} cells ({} filtered out) — {} computed, {} cached, {} failed \
-         [jobs={}, scale={}{}]",
-        stats.grid - stats.filtered_out,
-        stats.filtered_out,
-        stats.computed,
-        stats.cached,
-        stats.failed,
-        opts.jobs,
-        opts.scale.label(),
-        if opts.cache { "" } else { ", cache off" },
-    );
+    stats.wall_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+    if opts.json {
+        // Machine-readable bookkeeping. Stays on stderr: `--json` row
+        // output owns stdout and must remain byte-identical run to run.
+        let summary = Value::Object(vec![
+            ("sweep".to_string(), Value::Str(experiment.to_string())),
+            ("cells".to_string(), Value::UInt((stats.grid - stats.filtered_out) as u64)),
+            ("filtered_out".to_string(), Value::UInt(stats.filtered_out as u64)),
+            ("computed".to_string(), Value::UInt(stats.computed as u64)),
+            ("failed".to_string(), Value::UInt(stats.failed as u64)),
+            ("cache_hits".to_string(), Value::UInt(stats.cache_hits() as u64)),
+            ("cache_misses".to_string(), Value::UInt(stats.cache_misses() as u64)),
+            ("wall_ms".to_string(), Value::UInt(stats.wall_ms)),
+        ]);
+        if let Ok(line) = serde_json::to_string(&summary) {
+            eprintln!("{line}");
+        }
+    } else {
+        eprintln!(
+            "sweep {experiment}: {} cells ({} filtered out) — {} computed, {} cached, {} failed \
+             in {} ms [jobs={}, scale={}{}]",
+            stats.grid - stats.filtered_out,
+            stats.filtered_out,
+            stats.computed,
+            stats.cached,
+            stats.failed,
+            stats.wall_ms,
+            opts.jobs,
+            opts.scale.label(),
+            if opts.cache { "" } else { ", cache off" },
+        );
+    }
     SweepRun { cells: results, stats }
+}
+
+/// Live progress line for phase 2, written to stderr only when stderr
+/// is a terminal (CI logs stay clean; stdout is never touched).
+struct Progress {
+    label: String,
+    /// Cells that must be simulated this run.
+    total: usize,
+    /// Cells already satisfied from the cache before phase 2 started.
+    hits: usize,
+    done: AtomicUsize,
+    started: Instant,
+    live: bool,
+    last_draw: Mutex<Option<Instant>>,
+}
+
+impl Progress {
+    fn new(experiment: &str, total: usize, kept: usize, started: Instant) -> Progress {
+        Progress {
+            label: experiment.to_string(),
+            total,
+            hits: kept - total,
+            done: AtomicUsize::new(0),
+            started,
+            live: std::io::stderr().is_terminal(),
+            last_draw: Mutex::new(None),
+        }
+    }
+
+    /// Records one finished cell and redraws (throttled to ~10 Hz).
+    fn tick(&self) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.live {
+            return;
+        }
+        let now = Instant::now();
+        let mut last = self.last_draw.lock().unwrap();
+        if done < self.total {
+            if let Some(prev) = *last {
+                if now.duration_since(prev).as_millis() < 100 {
+                    return;
+                }
+            }
+        }
+        *last = Some(now);
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let eta = if done > 0 { elapsed / done as f64 * (self.total - done) as f64 } else { 0.0 };
+        let kept = self.total + self.hits;
+        let hit_pct = if kept > 0 { 100.0 * self.hits as f64 / kept as f64 } else { 0.0 };
+        eprint!(
+            "\r\x1b[2Ksweep {}: {done}/{} cells  elapsed {elapsed:.1}s  eta {eta:.1}s  \
+             cache {hit_pct:.0}% hit",
+            self.label, self.total,
+        );
+    }
+
+    /// Clears the progress line so the final summary starts clean.
+    fn finish(&self) {
+        if self.live && self.last_draw.lock().unwrap().is_some() {
+            eprint!("\r\x1b[2K");
+        }
+    }
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

@@ -112,8 +112,11 @@ fn warm_cache_recomputes_nothing() {
     assert_eq!((cold.stats.computed, cold.stats.cached), (6, 0));
     assert_eq!(calls.load(Ordering::Relaxed), 6);
 
+    assert_eq!((cold.stats.cache_hits(), cold.stats.cache_misses()), (0, 6));
+
     let warm = run_sweep("cache-test", &opts(2, &dir, true), make_cells(&calls));
     assert_eq!((warm.stats.computed, warm.stats.cached), (0, 6), "warm run must be all-cached");
+    assert_eq!((warm.stats.cache_hits(), warm.stats.cache_misses()), (6, 0));
     assert_eq!(calls.load(Ordering::Relaxed), 6, "no cell closure may run on a warm cache");
     assert!(warm.cells.iter().all(|c| matches!(c.outcome, Ok((_, CellSource::Cached)))));
     assert_eq!(cold.into_rows(), warm.into_rows());

@@ -233,7 +233,8 @@ impl<'p> Baseline<'p> {
             let f = *self.frontend.peek(i);
             self.retired += 1;
             issued += 1;
-            // One pipe: dispatch and retire are the same event here.
+            // One pipe: fetch, dispatch, and retire are the same event here.
+            sink.emit_with(|| TraceEvent::Fetch { cycle: self.cycle, seq: f.seq, pc: f.pc });
             sink.emit_with(|| TraceEvent::BRetire {
                 cycle: self.cycle,
                 seq: f.seq,

@@ -228,10 +228,13 @@ impl fmt::Display for MetricsSnapshot {
         for h in &self.histograms {
             writeln!(
                 f,
-                "{:<36} n={} mean={:.2} max={}",
+                "{:<36} n={} mean={:.2} p50<={} p95<={} p99<={} max={}",
                 h.name,
                 h.hist.count(),
                 h.hist.mean(),
+                h.hist.quantile_bound(0.50),
+                h.hist.quantile_bound(0.95),
+                h.hist.quantile_bound(0.99),
                 h.hist.max()
             )?;
         }
@@ -268,11 +271,18 @@ impl MetricsBuilder {
         self
     }
 
-    /// Registers one histogram (copied).
+    /// Registers one histogram (copied), flattening its p50/p95/p99
+    /// bucket-bound quantiles into `<name>.p50` &c. counters so
+    /// flat-counter consumers see distribution shape, not just
+    /// count/mean/max. An empty histogram flattens to all-zero
+    /// quantiles (see [`Histogram::quantile_bound`]).
     pub fn histogram(&mut self, name: &str, hist: &Histogram) -> &mut Self {
         self.snapshot
             .histograms
             .push(HistogramEntry { name: format!("{}{name}", self.prefix), hist: *hist });
+        for (q, label) in [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")] {
+            self.counter(&format!("{name}.{label}"), hist.quantile_bound(q));
+        }
         self
     }
 
@@ -453,6 +463,45 @@ mod tests {
         assert_eq!(snap.counter("missing"), None);
         let text = snap.to_string();
         assert!(text.contains("l1.hits") && text.contains("l1.depth"), "{text}");
+    }
+
+    #[test]
+    fn histogram_registration_flattens_quantile_counters() {
+        let mut h = Histogram::new();
+        for v in 0..100u64 {
+            h.observe(v);
+        }
+        let mut b = MetricsBuilder::new();
+        b.scope("tp", &{
+            struct S(Histogram);
+            impl MetricSource for S {
+                fn export_metrics(&self, m: &mut MetricsBuilder) {
+                    m.histogram("slip", &self.0);
+                }
+            }
+            S(h)
+        });
+        let snap = b.build();
+        assert_eq!(snap.counter("tp.slip.p50"), Some(h.quantile_bound(0.50)));
+        assert_eq!(snap.counter("tp.slip.p95"), Some(h.quantile_bound(0.95)));
+        assert_eq!(snap.counter("tp.slip.p99"), Some(h.quantile_bound(0.99)));
+        let text = snap.to_string();
+        assert!(text.contains("p95<="), "Display must carry the quantile summary: {text}");
+    }
+
+    #[test]
+    fn flattened_quantiles_handle_empty_and_single_sample() {
+        let empty = Histogram::new();
+        let mut single = Histogram::new();
+        single.observe(7);
+        let mut b = MetricsBuilder::new();
+        b.histogram("empty", &empty).histogram("single", &single);
+        let snap = b.build();
+        for q in ["p50", "p95", "p99"] {
+            assert_eq!(snap.counter(&format!("empty.{q}")), Some(0), "{q} of empty");
+            let bound = snap.counter(&format!("single.{q}")).unwrap();
+            assert!(bound >= 7, "{q} of a single sample must bound it, got {bound}");
+        }
     }
 
     #[test]

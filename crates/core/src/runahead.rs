@@ -377,6 +377,11 @@ impl<'p> Runahead<'p> {
             let f = *self.frontend.peek(i);
             self.retired += 1;
             issued += 1;
+            // Single-pipe normal mode: fetch and retire share the cycle.
+            // Speculative runahead-episode instructions get no lifecycle
+            // events (their seqs are reused after the checkpoint restore);
+            // `RunaheadEnter`/`RunaheadExit` bound those spans instead.
+            sink.emit_with(|| TraceEvent::Fetch { cycle: self.cycle, seq: f.seq, pc: f.pc });
             sink.emit_with(|| TraceEvent::BRetire {
                 cycle: self.cycle,
                 seq: f.seq,

@@ -333,6 +333,13 @@ mod tests {
             TraceEvent::QueueSample { cycle: 10, depth: 7, mshr: 3 },
             TraceEvent::RunaheadEnter { cycle: 11, pc: 40 },
             TraceEvent::RunaheadExit { cycle: 12, pc: 40, discarded: 17 },
+            TraceEvent::Fetch { cycle: 13, seq: 21, pc: 5 },
+            TraceEvent::AExec { cycle: 13, seq: 21, pc: 5, ready_at: 14 },
+            TraceEvent::Defer { cycle: 13, seq: 22, pc: 6 },
+            TraceEvent::CqEnqueue { cycle: 13, seq: 22, pc: 6, depth: 2 },
+            TraceEvent::CqDequeue { cycle: 20, seq: 22, pc: 6, resident: 7 },
+            TraceEvent::BExec { cycle: 20, seq: 22, pc: 6 },
+            TraceEvent::Squash { cycle: 21, seq: 23, pc: 7 },
         ];
         let mut sink = JsonlSink::new(Vec::new());
         for e in &events {

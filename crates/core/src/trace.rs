@@ -42,6 +42,86 @@ impl FlushKind {
 /// One traced pipeline event.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum TraceEvent {
+    /// The front end delivered an instruction to its pipe.
+    ///
+    /// In these one-cycle-frontend models fetch completes the same
+    /// cycle the instruction dispatches, so `Fetch` shares its cycle
+    /// with the matching [`TraceEvent::ADispatch`] (or, for the
+    /// single-pipe models, [`TraceEvent::BRetire`]).
+    Fetch {
+        /// Cycle the instruction left the front end.
+        cycle: u64,
+        /// Dynamic sequence number.
+        seq: u64,
+        /// Static instruction index.
+        pc: usize,
+    },
+    /// The A-pipe executed an instruction (A-exec begin; the result is
+    /// architecturally visible to the B-pipe at `ready_at`).
+    AExec {
+        /// Cycle A-execution began.
+        cycle: u64,
+        /// Dynamic sequence number.
+        seq: u64,
+        /// Static instruction index.
+        pc: usize,
+        /// Cycle the result is ready for merge (begin + latency; for
+        /// loads this is the fill-completion cycle).
+        ready_at: u64,
+    },
+    /// The A-pipe deferred an instruction instead of executing it
+    /// (unready operand, structural limit, or restricted-variant rule).
+    Defer {
+        /// Cycle of the defer decision.
+        cycle: u64,
+        /// Dynamic sequence number.
+        seq: u64,
+        /// Static instruction index.
+        pc: usize,
+    },
+    /// An instruction entered the coupling queue.
+    CqEnqueue {
+        /// Cycle of the enqueue.
+        cycle: u64,
+        /// Dynamic sequence number.
+        seq: u64,
+        /// Static instruction index.
+        pc: usize,
+        /// Queue occupancy counting this entry.
+        depth: u32,
+    },
+    /// An instruction left the coupling queue for merge.
+    CqDequeue {
+        /// Cycle of the dequeue.
+        cycle: u64,
+        /// Dynamic sequence number.
+        seq: u64,
+        /// Static instruction index.
+        pc: usize,
+        /// Cycles the entry sat in the queue (dequeue − enqueue).
+        resident: u64,
+    },
+    /// The B-pipe executed a deferred instruction at merge (B-exec).
+    BExec {
+        /// Cycle of B-execution.
+        cycle: u64,
+        /// Dynamic sequence number.
+        seq: u64,
+        /// Static instruction index.
+        pc: usize,
+    },
+    /// A speculative in-flight instruction was squashed by a flush.
+    ///
+    /// Emitted once per coupling-queue entry younger than the flush
+    /// boundary; the matching [`TraceEvent::Flush`] carries the cause.
+    Squash {
+        /// Cycle of the squash (the flush cycle).
+        cycle: u64,
+        /// Dynamic sequence number.
+        seq: u64,
+        /// Static instruction index.
+        pc: usize,
+    },
     /// An instruction entered the A-pipe (and the coupling queue).
     ADispatch {
         /// Cycle of dispatch.
@@ -170,7 +250,14 @@ impl TraceEvent {
     #[must_use]
     pub const fn cycle(&self) -> u64 {
         match *self {
-            TraceEvent::ADispatch { cycle, .. }
+            TraceEvent::Fetch { cycle, .. }
+            | TraceEvent::AExec { cycle, .. }
+            | TraceEvent::Defer { cycle, .. }
+            | TraceEvent::CqEnqueue { cycle, .. }
+            | TraceEvent::CqDequeue { cycle, .. }
+            | TraceEvent::BExec { cycle, .. }
+            | TraceEvent::Squash { cycle, .. }
+            | TraceEvent::ADispatch { cycle, .. }
             | TraceEvent::BRetire { cycle, .. }
             | TraceEvent::Flush { cycle, .. }
             | TraceEvent::ARedirect { cycle, .. }
@@ -192,6 +279,27 @@ impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{:>8}] ", self.cycle())?;
         match *self {
+            TraceEvent::Fetch { seq, pc, .. } => {
+                write!(f, "{:<12} seq={seq} pc={pc}", "fetch")
+            }
+            TraceEvent::AExec { seq, pc, ready_at, .. } => {
+                write!(f, "{:<12} seq={seq} pc={pc} ready={ready_at}", "A.exec")
+            }
+            TraceEvent::Defer { seq, pc, .. } => {
+                write!(f, "{:<12} seq={seq} pc={pc}", "A.defer")
+            }
+            TraceEvent::CqEnqueue { seq, pc, depth, .. } => {
+                write!(f, "{:<12} seq={seq} pc={pc} depth={depth}", "cq.enqueue")
+            }
+            TraceEvent::CqDequeue { seq, pc, resident, .. } => {
+                write!(f, "{:<12} seq={seq} pc={pc} resident={resident}", "cq.dequeue")
+            }
+            TraceEvent::BExec { seq, pc, .. } => {
+                write!(f, "{:<12} seq={seq} pc={pc}", "B.exec")
+            }
+            TraceEvent::Squash { seq, pc, .. } => {
+                write!(f, "{:<12} seq={seq} pc={pc}", "squash")
+            }
             TraceEvent::ADispatch { seq, pc, deferred, .. } => {
                 write!(
                     f,
@@ -477,6 +585,13 @@ mod tests {
             TraceEvent::QueueSample { cycle: 10, depth: 0, mshr: 0 },
             TraceEvent::RunaheadEnter { cycle: 11, pc: 0 },
             TraceEvent::RunaheadExit { cycle: 12, pc: 0, discarded: 5 },
+            TraceEvent::Fetch { cycle: 13, seq: 0, pc: 0 },
+            TraceEvent::AExec { cycle: 14, seq: 0, pc: 0, ready_at: 15 },
+            TraceEvent::Defer { cycle: 15, seq: 0, pc: 0 },
+            TraceEvent::CqEnqueue { cycle: 16, seq: 0, pc: 0, depth: 1 },
+            TraceEvent::CqDequeue { cycle: 17, seq: 0, pc: 0, resident: 1 },
+            TraceEvent::BExec { cycle: 18, seq: 0, pc: 0 },
+            TraceEvent::Squash { cycle: 19, seq: 0, pc: 0 },
         ];
         for (i, e) in events.iter().enumerate() {
             assert_eq!(e.cycle(), i as u64 + 1);

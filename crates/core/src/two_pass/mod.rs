@@ -609,6 +609,19 @@ impl<'p> TwoPass<'p> {
     ) -> bool {
         self.retired += 1;
         self.stats.slip_hist.observe(self.cycle.saturating_sub(entry.enq_cycle));
+        sink.emit_with(|| TraceEvent::CqDequeue {
+            cycle: self.cycle,
+            seq: entry.seq,
+            pc: entry.pc,
+            resident: self.cycle.saturating_sub(entry.enq_cycle),
+        });
+        if entry.state.is_deferred() {
+            sink.emit_with(|| TraceEvent::BExec {
+                cycle: self.cycle,
+                seq: entry.seq,
+                pc: entry.pc,
+            });
+        }
         sink.emit_with(|| TraceEvent::BRetire {
             cycle: self.cycle,
             seq: entry.seq,
@@ -800,6 +813,14 @@ impl<'p> TwoPass<'p> {
         // `boundary_seq` is the seq of the flush-triggering instruction
         // (mispredicted branch / conflicting load); it retires in B, so
         // flush_after keeps it and squashes only strictly younger work.
+        if sink.is_on() {
+            for e in self.cq.iter() {
+                if e.seq > plan.boundary_seq {
+                    let (seq, pc) = (e.seq, e.pc);
+                    sink.emit_with(|| TraceEvent::Squash { cycle: self.cycle, seq, pc });
+                }
+            }
+        }
         let _ = self.cq.flush_after(plan.boundary_seq);
         self.frontend.redirect(plan.redirect_pc, self.cycle + plan.penalty);
         let _ =
@@ -956,6 +977,7 @@ impl<'p> TwoPass<'p> {
             let f = *self.frontend.peek(i);
             processed += 1;
             self.stats.dispatched_a += 1;
+            sink.emit_with(|| TraceEvent::Fetch { cycle: self.cycle, seq: f.seq, pc: f.pc });
 
             let (state, stop) = if self.must_defer(f.pc) {
                 (CqState::Deferred, false)
@@ -982,6 +1004,17 @@ impl<'p> TwoPass<'p> {
                 self.stats.executed_in_a += 1;
             }
 
+            match state {
+                CqState::Executed { ready_at, .. } => sink.emit_with(|| TraceEvent::AExec {
+                    cycle: self.cycle,
+                    seq: f.seq,
+                    pc: f.pc,
+                    ready_at,
+                }),
+                CqState::Deferred => {
+                    sink.emit_with(|| TraceEvent::Defer { cycle: self.cycle, seq: f.seq, pc: f.pc })
+                }
+            }
             sink.emit_with(|| TraceEvent::ADispatch {
                 cycle: self.cycle,
                 seq: f.seq,
@@ -999,6 +1032,12 @@ impl<'p> TwoPass<'p> {
                 predicted_taken: f.predicted_taken,
                 enq_cycle: self.cycle,
                 state,
+            });
+            sink.emit_with(|| TraceEvent::CqEnqueue {
+                cycle: self.cycle,
+                seq: f.seq,
+                pc: f.pc,
+                depth: self.cq.len() as u32,
             });
 
             if stop {
