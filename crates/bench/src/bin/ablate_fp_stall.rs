@@ -7,7 +7,7 @@ use ff_bench::sweep::{run_sweep, SweepOpts};
 
 fn main() {
     let opts = SweepOpts::from_env();
-    let cells = experiments::fp_stall_cells(opts.scale, &FP_STALL_BENCHMARKS);
+    let cells = experiments::fp_stall_cells(opts.scale, &FP_STALL_BENCHMARKS, opts.fast_forward);
     let run = run_sweep("ablate_fp_stall", &opts, cells);
     let rows = run.into_rows();
     if opts.json {

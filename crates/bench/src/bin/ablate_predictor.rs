@@ -9,7 +9,11 @@ use ff_bench::sweep::{run_sweep, SweepOpts};
 
 fn main() {
     let opts = SweepOpts::from_env();
-    let run = run_sweep("ablate_predictor", &opts, experiments::predictor_cells(opts.scale));
+    let run = run_sweep(
+        "ablate_predictor",
+        &opts,
+        experiments::predictor_cells(opts.scale, opts.fast_forward),
+    );
     let rows = run.into_rows();
     if opts.json {
         println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));

@@ -7,7 +7,8 @@ use ff_bench::sweep::{run_sweep, SweepOpts};
 
 fn main() {
     let opts = SweepOpts::from_env();
-    let cells = experiments::queue_sweep_cells(opts.scale, &QUEUE_SWEEP_BENCHMARKS);
+    let cells =
+        experiments::queue_sweep_cells(opts.scale, &QUEUE_SWEEP_BENCHMARKS, opts.fast_forward);
     let run = run_sweep("ablate_queue", &opts, cells);
     let mut rows = run.into_rows();
     experiments::queue_sweep_finalize(&mut rows);

@@ -7,7 +7,11 @@ use ff_bench::{experiments, fmt};
 
 fn main() {
     let opts = SweepOpts::from_env();
-    let run = run_sweep("conflict_stats", &opts, experiments::conflict_stats_cells(opts.scale));
+    let run = run_sweep(
+        "conflict_stats",
+        &opts,
+        experiments::conflict_stats_cells(opts.scale, opts.fast_forward),
+    );
     let rows = run.into_rows();
     if opts.json {
         println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));

@@ -335,7 +335,7 @@ fn pipeview_cmd(args: &[String]) -> Result<(), String> {
     };
     if let Some(v) = parse("--from", take_opt(&mut args, "--from")?)? {
         opts.from = v;
-        opts.to = v + 80;
+        opts.to = v.saturating_add(80);
     }
     if let Some(v) = parse("--to", take_opt(&mut args, "--to")?)? {
         opts.to = v;
@@ -390,7 +390,7 @@ fn snapshot_cmd(args: &[String]) -> Result<(), String> {
         return Err(format!("snapshot takes one trace path\n{USAGE}"));
     };
     let events = load(path)?;
-    let end = end.unwrap_or_else(|| start + 64);
+    let end = end.unwrap_or_else(|| start.saturating_add(64));
     print!("{}", traceview::snapshot(&events, start, end));
     Ok(())
 }

@@ -6,7 +6,7 @@ use ff_bench::{experiments, fmt};
 
 fn main() {
     let opts = SweepOpts::from_env();
-    let run = run_sweep("fig6", &opts, experiments::fig6_cells(opts.scale));
+    let run = run_sweep("fig6", &opts, experiments::fig6_cells(opts.scale, opts.fast_forward));
     let mut rows = run.into_rows();
     experiments::fig6_finalize(&mut rows);
     if opts.json {

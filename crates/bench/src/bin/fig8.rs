@@ -7,7 +7,7 @@ use ff_bench::{experiments, fmt};
 
 fn main() {
     let opts = SweepOpts::from_env();
-    let run = run_sweep("fig8", &opts, experiments::fig8_cells(opts.scale));
+    let run = run_sweep("fig8", &opts, experiments::fig8_cells(opts.scale, opts.fast_forward));
     let mut rows = run.into_rows();
     experiments::fig8_finalize(&mut rows);
     if opts.json {

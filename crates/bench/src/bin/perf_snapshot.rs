@@ -18,7 +18,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: perf_snapshot [--scale tiny|test|ref] [--threshold F] \
-[--dir DIR] [--report-only] [--tag TAG]";
+[--dir DIR] [--report-only] [--tag TAG] [--ff-gate RATIO]";
 
 struct Opts {
     scale: Scale,
@@ -26,6 +26,11 @@ struct Opts {
     dir: PathBuf,
     report_only: bool,
     tag: Option<String>,
+    /// Minimum fast-forward speedup (ff-on / ff-off throughput on the
+    /// miss-dominated reference kernel). Unlike the wall-time gate this
+    /// ratio is host-load-immune — both legs run under the same noise —
+    /// so it stays a hard gate even under `--report-only`.
+    ff_gate: Option<f64>,
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -35,6 +40,7 @@ fn parse_opts() -> Result<Opts, String> {
         dir: PathBuf::from("perf"),
         report_only: false,
         tag: None,
+        ff_gate: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -50,6 +56,10 @@ fn parse_opts() -> Result<Opts, String> {
             "--dir" => opts.dir = PathBuf::from(args.next().ok_or("--dir needs a value")?),
             "--report-only" => opts.report_only = true,
             "--tag" => opts.tag = Some(args.next().ok_or("--tag needs a value")?),
+            "--ff-gate" => {
+                let v = args.next().ok_or("--ff-gate needs a value")?;
+                opts.ff_gate = Some(v.parse().map_err(|e| format!("bad --ff-gate: {e}"))?);
+            }
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
     }
@@ -91,7 +101,44 @@ fn measure(scale: Scale) -> SelfProfiler {
             ((), r.retired)
         });
     }
+
+    // Event-driven fast-forward effectiveness: the most miss-dominated
+    // paper kernel (the one with the most skippable stall cycles) with
+    // the event layer on and off, on the single-pipe baseline and the
+    // two-pass machine. The throughput *ratio* of each on/off pair
+    // backs `--ff-gate`.
+    if let Some(w) = workloads.iter().find(|w| w.name == "mcf-like") {
+        // Alternate the legs across repetitions so slow drift in host
+        // load (the dominant noise source) cancels out of the ratio.
+        for _ in 0..3 {
+            for model in ["base", "2P"] {
+                for (leg, ff) in [("on", true), ("off", false)] {
+                    p.time_work(&format!("ff.{leg}.{}", model.to_lowercase()), || {
+                        let r = experiments::run_model_ff(w, model, ff);
+                        ((), r.retired)
+                    });
+                }
+            }
+        }
+    }
     p
+}
+
+/// Fast-forward speedups per model: `(model, ff.on/ff.off throughput)`
+/// for every model with both legs measured.
+fn ff_ratios(profiler: &SelfProfiler) -> Vec<(String, f64)> {
+    let rate = |name: &str| {
+        profiler.sections().iter().find(|s| s.name == name).and_then(|s| s.instrs_per_sec())
+    };
+    ["base", "2p"]
+        .iter()
+        .filter_map(|model| {
+            match (rate(&format!("ff.on.{model}")), rate(&format!("ff.off.{model}"))) {
+                (Some(on), Some(off)) if off > 0.0 => Some((model.to_string(), on / off)),
+                _ => None,
+            }
+        })
+        .collect()
 }
 
 /// The lexicographically latest `BENCH_*.json` in `dir`, if any.
@@ -144,6 +191,12 @@ fn run() -> Result<ExitCode, String> {
         );
     }
 
+    let speedups = ff_ratios(&profiler);
+    if !speedups.is_empty() {
+        let rendered: Vec<String> = speedups.iter().map(|(m, r)| format!("{m} {r:.1}x")).collect();
+        println!("\nfast-forward speedup on mcf-like (ff.on / ff.off): {}", rendered.join(", "));
+    }
+
     let mut snapshot = profiler.into_snapshot(opts.scale.label());
     snapshot.host = host;
     let mut regressed = false;
@@ -184,6 +237,22 @@ fn run() -> Result<ExitCode, String> {
     let json = serde_json::to_string_pretty(&snapshot).expect("serializable snapshot");
     fs::write(&out, json + "\n").map_err(|e| format!("write {}: {e}", out.display()))?;
     println!("\nwrote {}", out.display());
+
+    // The fast-forward gate is deliberately NOT silenced by
+    // --report-only: it is a same-process ratio, so the host-load noise
+    // that makes absolute wall times ungateable cancels out. A ratio
+    // near 1.0 means something silently disabled the event layer.
+    if let Some(min) = opts.ff_gate {
+        let best = speedups.iter().map(|&(_, r)| r).fold(f64::NEG_INFINITY, f64::max);
+        if speedups.is_empty() {
+            println!("--ff-gate given but fast-forward sections were not measured");
+            return Ok(ExitCode::from(2));
+        }
+        if best < min {
+            println!("fast-forward speedup {best:.1}x below --ff-gate {min}");
+            return Ok(ExitCode::from(2));
+        }
+    }
 
     if regressed && !opts.report_only {
         println!("perf regression beyond {:.0}% threshold", opts.threshold * 100.0);

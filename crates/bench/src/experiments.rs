@@ -33,11 +33,26 @@ fn workload(name: &str, scale: Scale) -> Workload {
     benchmark_by_name(name, scale).expect("built-in benchmark")
 }
 
+/// The Table 1 machine with the simulator fast-forward knob applied.
+/// Every experiment grid goes through this so `--no-fast-forward`
+/// reaches each cell; results are byte-identical either way.
+fn machine(fast_forward: bool) -> MachineConfig {
+    let mut cfg = MachineConfig::paper_table1();
+    cfg.fast_forward = fast_forward;
+    cfg
+}
+
 /// Runs one workload on one of the Table 1 machines (`base`, `2P`,
 /// `2Pre`).
 #[must_use]
 pub fn run_model(w: &Workload, model: &str) -> SimReport {
-    let cfg = MachineConfig::paper_table1();
+    run_model_ff(w, model, true)
+}
+
+/// [`run_model`] with the event-driven fast-forward knob explicit.
+#[must_use]
+pub fn run_model_ff(w: &Workload, model: &str, fast_forward: bool) -> SimReport {
+    let cfg = machine(fast_forward);
     match model {
         "base" => Baseline::new(&w.program, w.memory.clone(), cfg).run(w.budget),
         "2P" => TwoPass::new(&w.program, w.memory.clone(), cfg).run(w.budget),
@@ -102,13 +117,13 @@ fn fig6_row(benchmark: &str, r: &SimReport) -> Fig6Row {
 
 /// Figure 6 grid: 10 benchmarks × {base, 2P, 2Pre}.
 #[must_use]
-pub fn fig6_cells(scale: Scale) -> Vec<Cell<Fig6Row>> {
+pub fn fig6_cells(scale: Scale, fast_forward: bool) -> Vec<Cell<Fig6Row>> {
     let mut cells = Vec::new();
     for name in benchmark_names(scale) {
         for model in MODELS {
             cells.push(Cell::new(name, model, "", move || {
                 let w = workload(name, scale);
-                fig6_row(w.name, &run_model(&w, model))
+                fig6_row(w.name, &run_model_ff(&w, model, fast_forward))
             }));
         }
     }
@@ -132,7 +147,7 @@ pub fn fig6_finalize(rows: &mut [Fig6Row]) {
 /// Figure 6, serial and uncached (benches, library use).
 #[must_use]
 pub fn fig6(scale: Scale) -> Vec<Fig6Row> {
-    let mut rows: Vec<Fig6Row> = fig6_cells(scale).iter().map(|c| (c.run)()).collect();
+    let mut rows: Vec<Fig6Row> = fig6_cells(scale, true).iter().map(|c| (c.run)()).collect();
     fig6_finalize(&mut rows);
     rows
 }
@@ -156,13 +171,13 @@ pub struct Fig7Row {
 
 /// Figure 7 grid: 10 benchmarks × {base, 2P, 2Pre}.
 #[must_use]
-pub fn fig7_cells(scale: Scale) -> Vec<Cell<Fig7Row>> {
+pub fn fig7_cells(scale: Scale, fast_forward: bool) -> Vec<Cell<Fig7Row>> {
     let mut cells = Vec::new();
     for name in benchmark_names(scale) {
         for model in MODELS {
             cells.push(Cell::new(name, model, "", move || {
                 let w = workload(name, scale);
-                let r = run_model(&w, model);
+                let r = run_model_ff(&w, model, fast_forward);
                 Fig7Row {
                     benchmark: w.name.to_string(),
                     model: r.model.to_string(),
@@ -178,7 +193,7 @@ pub fn fig7_cells(scale: Scale) -> Vec<Cell<Fig7Row>> {
 /// Figure 7, serial and uncached (benches, library use).
 #[must_use]
 pub fn fig7(scale: Scale) -> Vec<Fig7Row> {
-    fig7_cells(scale).iter().map(|c| (c.run)()).collect()
+    fig7_cells(scale, true).iter().map(|c| (c.run)()).collect()
 }
 
 // ---- Figure 8 ----------------------------------------------------------
@@ -223,14 +238,14 @@ pub struct Fig8Row {
 /// Figure 8 grid: 3 benchmarks × 5 feedback latencies, on the two-pass
 /// machine.
 #[must_use]
-pub fn fig8_cells(scale: Scale) -> Vec<Cell<Fig8Row>> {
+pub fn fig8_cells(scale: Scale, fast_forward: bool) -> Vec<Cell<Fig8Row>> {
     let mut cells = Vec::new();
     for name in FIG8_BENCHMARKS {
         for lat in FIG8_LATENCIES {
             let label = latency_label(lat);
             cells.push(Cell::new(name, "2P", format!("latency={label}"), move || {
                 let w = workload(name, scale);
-                let mut cfg = MachineConfig::paper_table1();
+                let mut cfg = machine(fast_forward);
                 cfg.two_pass.feedback_latency = lat;
                 let r = TwoPass::new(&w.program, w.memory.clone(), cfg).run(w.budget);
                 let tp = r.two_pass.expect("two-pass stats");
@@ -262,7 +277,7 @@ pub fn fig8_finalize(rows: &mut [Fig8Row]) {
 /// Figure 8, serial and uncached (benches, library use).
 #[must_use]
 pub fn fig8(scale: Scale) -> Vec<Fig8Row> {
-    let mut rows: Vec<Fig8Row> = fig8_cells(scale).iter().map(|c| (c.run)()).collect();
+    let mut rows: Vec<Fig8Row> = fig8_cells(scale, true).iter().map(|c| (c.run)()).collect();
     fig8_finalize(&mut rows);
     rows
 }
@@ -289,13 +304,13 @@ pub struct BranchRow {
 
 /// Branch-statistics grid: 10 benchmarks on the two-pass machine.
 #[must_use]
-pub fn branch_stats_cells(scale: Scale) -> Vec<Cell<BranchRow>> {
+pub fn branch_stats_cells(scale: Scale, fast_forward: bool) -> Vec<Cell<BranchRow>> {
     benchmark_names(scale)
         .into_iter()
         .map(|name| {
             Cell::new(name, "2P", "", move || {
                 let w = workload(name, scale);
-                let r = run_model(&w, "2P");
+                let r = run_model_ff(&w, "2P", fast_forward);
                 let b = r.branches;
                 BranchRow {
                     benchmark: w.name.to_string(),
@@ -317,7 +332,7 @@ pub fn branch_stats_cells(scale: Scale) -> Vec<Cell<BranchRow>> {
 /// Branch statistics, serial and uncached (benches, library use).
 #[must_use]
 pub fn branch_stats(scale: Scale) -> Vec<BranchRow> {
-    branch_stats_cells(scale).iter().map(|c| (c.run)()).collect()
+    branch_stats_cells(scale, true).iter().map(|c| (c.run)()).collect()
 }
 
 // ---- §4 store-conflict statistics ----------------------------------------
@@ -342,13 +357,13 @@ pub struct ConflictRow {
 
 /// Store-conflict grid: 10 benchmarks on the two-pass machine.
 #[must_use]
-pub fn conflict_stats_cells(scale: Scale) -> Vec<Cell<ConflictRow>> {
+pub fn conflict_stats_cells(scale: Scale, fast_forward: bool) -> Vec<Cell<ConflictRow>> {
     benchmark_names(scale)
         .into_iter()
         .map(|name| {
             Cell::new(name, "2P", "", move || {
                 let w = workload(name, scale);
-                let r = run_model(&w, "2P");
+                let r = run_model_ff(&w, "2P", fast_forward);
                 let tp = r.two_pass.expect("two-pass stats");
                 ConflictRow {
                     benchmark: w.name.to_string(),
@@ -371,7 +386,7 @@ pub fn conflict_stats_cells(scale: Scale) -> Vec<Cell<ConflictRow>> {
 /// use).
 #[must_use]
 pub fn conflict_stats(scale: Scale) -> Vec<ConflictRow> {
-    conflict_stats_cells(scale).iter().map(|c| (c.run)()).collect()
+    conflict_stats_cells(scale, true).iter().map(|c| (c.run)()).collect()
 }
 
 // ---- §3.1 queue-size ablation ---------------------------------------------
@@ -401,13 +416,17 @@ pub const QUEUE_SWEEP_BENCHMARKS: [&str; 4] =
 
 /// §3.1 grid: benchmarks × queue sizes on the two-pass machine.
 #[must_use]
-pub fn queue_sweep_cells(scale: Scale, benchmarks: &[&'static str]) -> Vec<Cell<QueueRow>> {
+pub fn queue_sweep_cells(
+    scale: Scale,
+    benchmarks: &[&'static str],
+    fast_forward: bool,
+) -> Vec<Cell<QueueRow>> {
     let mut cells = Vec::new();
     for &name in benchmarks {
         for size in QUEUE_SIZES {
             cells.push(Cell::new(name, "2P", format!("queue={size}"), move || {
                 let w = workload(name, scale);
-                let mut cfg = MachineConfig::paper_table1();
+                let mut cfg = machine(fast_forward);
                 cfg.two_pass.queue_size = size;
                 let r = TwoPass::new(&w.program, w.memory.clone(), cfg).run(w.budget);
                 let tp = r.two_pass.expect("two-pass stats");
@@ -439,7 +458,7 @@ pub fn queue_sweep_finalize(rows: &mut [QueueRow]) {
 #[must_use]
 pub fn queue_sweep(scale: Scale, benchmarks: &[&'static str]) -> Vec<QueueRow> {
     let mut rows: Vec<QueueRow> =
-        queue_sweep_cells(scale, benchmarks).iter().map(|c| (c.run)()).collect();
+        queue_sweep_cells(scale, benchmarks, true).iter().map(|c| (c.run)()).collect();
     queue_sweep_finalize(&mut rows);
     rows
 }
@@ -468,13 +487,17 @@ pub const FP_STALL_BENCHMARKS: [&str; 2] = ["vpr-like", "equake-like"];
 
 /// §4 grid: one cell per benchmark, running both FP policies.
 #[must_use]
-pub fn fp_stall_cells(scale: Scale, benchmarks: &[&'static str]) -> Vec<Cell<FpStallRow>> {
+pub fn fp_stall_cells(
+    scale: Scale,
+    benchmarks: &[&'static str],
+    fast_forward: bool,
+) -> Vec<Cell<FpStallRow>> {
     benchmarks
         .iter()
         .map(|&name| {
             Cell::new(name, "2P", "policy=defer+stall", move || {
                 let w = workload(name, scale);
-                let plain_cfg = MachineConfig::paper_table1();
+                let plain_cfg = machine(fast_forward);
                 let mut stall_cfg = plain_cfg.clone();
                 stall_cfg.two_pass.stall_on_anticipable_fp = true;
                 let plain = TwoPass::new(&w.program, w.memory.clone(), plain_cfg).run(w.budget);
@@ -501,7 +524,7 @@ pub fn fp_stall_cells(scale: Scale, benchmarks: &[&'static str]) -> Vec<Cell<FpS
 /// §4 FP-stall ablation, serial and uncached (benches, library use).
 #[must_use]
 pub fn fp_stall_ablation(scale: Scale, benchmarks: &[&'static str]) -> Vec<FpStallRow> {
-    fp_stall_cells(scale, benchmarks).iter().map(|c| (c.run)()).collect()
+    fp_stall_cells(scale, benchmarks, true).iter().map(|c| (c.run)()).collect()
 }
 
 // ---- §2 runahead comparison ---------------------------------------------
@@ -525,13 +548,13 @@ pub struct RunaheadRow {
 
 /// §2 grid: one cell per benchmark, running base, runahead, and 2P.
 #[must_use]
-pub fn runahead_compare_cells(scale: Scale) -> Vec<Cell<RunaheadRow>> {
+pub fn runahead_compare_cells(scale: Scale, fast_forward: bool) -> Vec<Cell<RunaheadRow>> {
     benchmark_names(scale)
         .into_iter()
         .map(|name| {
             Cell::new(name, "base+runahead+2P", "", move || {
                 let w = workload(name, scale);
-                let cfg = MachineConfig::paper_table1();
+                let cfg = machine(fast_forward);
                 let base = Baseline::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget);
                 let ra = Runahead::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget);
                 let tp = TwoPass::new(&w.program, w.memory.clone(), cfg).run(w.budget);
@@ -552,7 +575,7 @@ pub fn runahead_compare_cells(scale: Scale) -> Vec<Cell<RunaheadRow>> {
 /// §2 runahead comparison, serial and uncached (benches, library use).
 #[must_use]
 pub fn runahead_compare(scale: Scale) -> Vec<RunaheadRow> {
-    runahead_compare_cells(scale).iter().map(|c| (c.run)()).collect()
+    runahead_compare_cells(scale, true).iter().map(|c| (c.run)()).collect()
 }
 
 // ---- predictor ablation ---------------------------------------------------
@@ -595,13 +618,13 @@ fn predictor_by_label(label: &str) -> PredictorConfig {
 /// Predictor-ablation grid: benchmarks × predictors, each cell running
 /// baseline and two-pass.
 #[must_use]
-pub fn predictor_cells(scale: Scale) -> Vec<Cell<PredictorRow>> {
+pub fn predictor_cells(scale: Scale, fast_forward: bool) -> Vec<Cell<PredictorRow>> {
     let mut cells = Vec::new();
     for name in PREDICTOR_BENCHMARKS {
         for label in PREDICTORS {
             cells.push(Cell::new(name, "base+2P", format!("predictor={label}"), move || {
                 let w = workload(name, scale);
-                let mut cfg = MachineConfig::paper_table1();
+                let mut cfg = machine(fast_forward);
                 cfg.predictor = predictor_by_label(label);
                 let base = Baseline::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget);
                 let tp = TwoPass::new(&w.program, w.memory.clone(), cfg).run(w.budget);
@@ -622,7 +645,7 @@ pub fn predictor_cells(scale: Scale) -> Vec<Cell<PredictorRow>> {
 /// Predictor ablation, serial and uncached (benches, library use).
 #[must_use]
 pub fn predictor_ablation(scale: Scale) -> Vec<PredictorRow> {
-    predictor_cells(scale).iter().map(|c| (c.run)()).collect()
+    predictor_cells(scale, true).iter().map(|c| (c.run)()).collect()
 }
 
 // ---- §3.5 throttle ablation -----------------------------------------------
@@ -648,13 +671,13 @@ pub struct ThrottleRow {
 
 /// §3.5 grid: one cell per benchmark, running plain and throttled.
 #[must_use]
-pub fn throttle_cells(scale: Scale) -> Vec<Cell<ThrottleRow>> {
+pub fn throttle_cells(scale: Scale, fast_forward: bool) -> Vec<Cell<ThrottleRow>> {
     benchmark_names(scale)
         .into_iter()
         .map(|name| {
             Cell::new(name, "2P", "throttle=w32-t0.5-r8", move || {
                 let w = workload(name, scale);
-                let plain_cfg = MachineConfig::paper_table1();
+                let plain_cfg = machine(fast_forward);
                 let mut t_cfg = plain_cfg.clone();
                 t_cfg.two_pass.throttle =
                     Some(ThrottleConfig { window: 32, defer_threshold: 0.5, resume_occupancy: 8 });
@@ -679,7 +702,7 @@ pub fn throttle_cells(scale: Scale) -> Vec<Cell<ThrottleRow>> {
 /// §3.5 throttle ablation, serial and uncached (benches, library use).
 #[must_use]
 pub fn throttle_ablation(scale: Scale) -> Vec<ThrottleRow> {
-    throttle_cells(scale).iter().map(|c| (c.run)()).collect()
+    throttle_cells(scale, true).iter().map(|c| (c.run)()).collect()
 }
 
 // ---- Table 2 --------------------------------------------------------------

@@ -19,7 +19,7 @@
 //!
 //! All sweep binaries share one CLI, parsed by [`SweepOpts`]:
 //! `[tiny|test|ref] [--scale S] [--jobs N|max] [--filter GLOB]
-//! [--no-cache] [--cache-dir DIR] [--json]`.
+//! [--no-cache] [--cache-dir DIR] [--json] [--no-fast-forward]`.
 
 use std::io::IsTerminal;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -59,6 +59,11 @@ pub struct SweepOpts {
     pub filter: Option<String>,
     /// Cache directory (`--cache-dir DIR`).
     pub cache_dir: PathBuf,
+    /// Simulate every cycle instead of event-driven fast-forwarding
+    /// (`--no-fast-forward`). Results are byte-identical either way —
+    /// this is the escape hatch for timing the per-cycle engine and for
+    /// the CI determinism diff. Deliberately *not* part of cache keys.
+    pub fast_forward: bool,
 }
 
 impl Default for SweepOpts {
@@ -70,6 +75,7 @@ impl Default for SweepOpts {
             cache: true,
             filter: None,
             cache_dir: PathBuf::from(DEFAULT_CACHE_DIR),
+            fast_forward: true,
         }
     }
 }
@@ -102,6 +108,7 @@ impl SweepOpts {
             match flag.as_str() {
                 "--json" => opts.json = true,
                 "--no-cache" => opts.cache = false,
+                "--no-fast-forward" => opts.fast_forward = false,
                 "--scale" => {
                     let v = take_value("--scale", inline.as_deref(), &mut it)?;
                     opts.scale = Scale::parse(&v).ok_or_else(|| {
@@ -143,7 +150,8 @@ impl SweepOpts {
             Err(msg) => {
                 eprintln!(
                     "error: {msg}\nusage: [tiny|test|ref] [--scale S] [--jobs N|max] \
-                     [--filter GLOB] [--no-cache] [--cache-dir DIR] [--json]"
+                     [--filter GLOB] [--no-cache] [--cache-dir DIR] [--json] \
+                     [--no-fast-forward]"
                 );
                 std::process::exit(2);
             }
@@ -421,7 +429,7 @@ impl Progress {
         Progress {
             label: experiment.to_string(),
             total,
-            hits: kept - total,
+            hits: kept.saturating_sub(total),
             done: AtomicUsize::new(0),
             started,
             live: std::io::stderr().is_terminal(),
@@ -446,14 +454,7 @@ impl Progress {
         }
         *last = Some(now);
         let elapsed = self.started.elapsed().as_secs_f64();
-        let eta = if done > 0 { elapsed / done as f64 * (self.total - done) as f64 } else { 0.0 };
-        let kept = self.total + self.hits;
-        let hit_pct = if kept > 0 { 100.0 * self.hits as f64 / kept as f64 } else { 0.0 };
-        eprint!(
-            "\r\x1b[2Ksweep {}: {done}/{} cells  elapsed {elapsed:.1}s  eta {eta:.1}s  \
-             cache {hit_pct:.0}% hit",
-            self.label, self.total,
-        );
+        eprint!("\r\x1b[2K{}", progress_line(&self.label, done, self.total, self.hits, elapsed));
     }
 
     /// Clears the progress line so the final summary starts clean.
@@ -462,6 +463,25 @@ impl Progress {
             eprint!("\r\x1b[2K");
         }
     }
+}
+
+/// Formats the live progress line. Pure, so the edge cases are unit
+/// testable: `done == 0` or `elapsed == 0` must not divide by zero,
+/// `done > total` (a bookkeeping race) must not underflow, and an
+/// all-cache-hit sweep (`total == 0`, e.g. finishing inside one
+/// throttle interval) must not print `inf`/`NaN` anywhere.
+#[must_use]
+fn progress_line(label: &str, done: usize, total: usize, hits: usize, elapsed: f64) -> String {
+    let elapsed = if elapsed.is_finite() { elapsed.max(0.0) } else { 0.0 };
+    let remaining = total.saturating_sub(done);
+    let eta = if done > 0 { elapsed / done as f64 * remaining as f64 } else { 0.0 };
+    let eta = if eta.is_finite() { eta } else { 0.0 };
+    let kept = total.saturating_add(hits);
+    let hit_pct = if kept > 0 { 100.0 * hits as f64 / kept as f64 } else { 0.0 };
+    format!(
+        "sweep {label}: {done}/{total} cells  elapsed {elapsed:.1}s  eta {eta:.1}s  \
+         cache {hit_pct:.0}% hit"
+    )
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -605,6 +625,39 @@ mod tests {
         assert_eq!(opts.filter.as_deref(), Some("mcf*"));
         assert!(!opts.cache);
         assert!(opts.json);
+        assert!(opts.fast_forward, "fast-forward is on unless asked off");
+    }
+
+    #[test]
+    fn opts_parse_no_fast_forward() {
+        let opts = SweepOpts::parse(["--no-fast-forward"].map(String::from)).unwrap();
+        assert!(!opts.fast_forward);
+    }
+
+    #[test]
+    fn progress_line_survives_every_degenerate_input() {
+        // Normal case: half done in 2s → 2s eta.
+        let line = progress_line("fig6", 5, 10, 10, 2.0);
+        assert!(line.contains("5/10"), "{line}");
+        assert!(line.contains("eta 2.0s"), "{line}");
+        assert!(line.contains("cache 50% hit"), "{line}");
+        // No divisions blow up and nothing prints inf/NaN.
+        for (done, total, hits, elapsed) in [
+            (0usize, 0usize, 0usize, 0.0f64),
+            (0, 10, 0, 0.0),
+            (1, 0, 0, 0.0),  // done > total: bookkeeping race
+            (3, 2, 0, 1.0),  // ditto
+            (0, 0, 7, 0.05), // all-cache-hit, sub-throttle finish
+            (1, 1, 0, f64::INFINITY),
+            (1, 1, 0, f64::NAN),
+            (usize::MAX, usize::MAX, usize::MAX, 1e300),
+        ] {
+            let line = progress_line("x", done, total, hits, elapsed);
+            assert!(!line.contains("inf") && !line.contains("NaN"), "{line}");
+        }
+        // All-cache-hit reports 100%.
+        let line = progress_line("x", 0, 0, 7, 0.05);
+        assert!(line.contains("cache 100% hit"), "{line}");
     }
 
     #[test]

@@ -680,7 +680,12 @@ pub fn pipeview(events: &[TraceEvent], opts: PipeviewOpts) -> String {
         }
     }
     let _ = writeln!(out, "{:>7} {:>6}  {}", "seq", "pc", ruler);
-    let mut flights = lifecycles(events);
+    // A zero-width window (from >= to after clamping to the trace end,
+    // e.g. `--from 100 --to 50` or a window entirely past the last
+    // cycle) renders no flights: a flight still alive at the clamp
+    // boundary would otherwise pass the retain filter and print a
+    // zero-column row.
+    let mut flights = if width == 0 { Vec::new() } else { lifecycles(events) };
     flights.retain(|f| {
         f.seq >= opts.seq_from
             && f.seq <= opts.seq_to

@@ -63,3 +63,51 @@ fn record_then_cpi_and_profile_produce_output() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// A `pipeview` window that excludes every instruction — past the end
+/// of the trace, inverted (`--from` > `--to`), at the unsigned extreme,
+/// or selecting no sequence numbers — must exit 0 with a clean empty
+/// diagram, never a panic or zero-column garbage rows.
+#[test]
+fn pipeview_degenerate_windows_render_clean_empty_diagrams() {
+    let dir = std::env::temp_dir().join(format!("ff_trace_pipeview_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.jsonl");
+    let trace_str = trace.to_str().unwrap();
+
+    let out = ff_trace(&["record", trace_str, "--bench", "mcf-like", "--max", "2000"]);
+    assert!(out.status.success(), "record failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let windows: &[&[&str]] = &[
+        &["--from", "99999999"],                // entirely past the trace end
+        &["--from", "100", "--to", "50"],       // inverted window
+        &["--from", "18446744073709551615"],    // u64::MAX: `from + 80` must not overflow
+        &["--to", "0"],                         // empty prefix
+        &["--seq-from", "999999"],              // no matching sequence numbers
+        &["--seq-from", "10", "--seq-to", "5"], // inverted sequence window
+    ];
+    for window in windows {
+        let mut args = vec!["pipeview", trace_str];
+        args.extend_from_slice(window);
+        let out = ff_trace(&args);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(out.status.success(), "pipeview {window:?} failed:\n{stderr}");
+        assert!(
+            stdout.contains("(no flights in window)"),
+            "pipeview {window:?} must note the empty window:\n{stdout}"
+        );
+        assert!(stdout.starts_with("pipeview cycles"), "header missing for {window:?}:\n{stdout}");
+        // Exactly header + ruler + note: no garbled flight rows.
+        assert_eq!(stdout.lines().count(), 3, "unexpected rows for {window:?}:\n{stdout}");
+    }
+
+    // A normal window on the same trace still renders flight rows.
+    let out = ff_trace(&["pipeview", trace_str, "--from", "0", "--to", "40"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("(no flights in window)"), "real window came up empty:\n{stdout}");
+    assert!(stdout.lines().count() > 3, "expected flight rows:\n{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

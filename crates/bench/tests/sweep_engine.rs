@@ -32,6 +32,7 @@ fn opts(jobs: usize, cache_dir: &Path, cache: bool) -> SweepOpts {
         cache,
         filter: None,
         cache_dir: cache_dir.to_path_buf(),
+        fast_forward: true,
     }
 }
 

@@ -15,7 +15,7 @@ fn temp_cache(name: &str) -> PathBuf {
 }
 
 fn fig6_json(opts: &SweepOpts) -> (String, usize, usize) {
-    let run = run_sweep("fig6", opts, experiments::fig6_cells(opts.scale));
+    let run = run_sweep("fig6", opts, experiments::fig6_cells(opts.scale, opts.fast_forward));
     let (computed, cached) = (run.stats.computed, run.stats.cached);
     let mut rows = run.into_rows();
     experiments::fig6_finalize(&mut rows);
@@ -32,6 +32,7 @@ fn fig6_grid_is_deterministic_across_jobs_and_cache() {
         cache,
         filter: None,
         cache_dir: dir.clone(),
+        fast_forward: true,
     };
 
     // Serial, cold cache: simulates and populates the cache.
@@ -44,6 +45,11 @@ fn fig6_grid_is_deterministic_across_jobs_and_cache() {
     let (parallel, recomputed, _) = fig6_json(&opts(8, false));
     assert_eq!(recomputed, computed);
     assert_eq!(serial, parallel, "jobs=1 and jobs=8 fig6 JSON must be byte-identical");
+
+    // Per-cycle engine (`--no-fast-forward`), cache disabled: the
+    // event-driven fast-forward must be invisible in the output.
+    let (per_cycle, _, _) = fig6_json(&SweepOpts { fast_forward: false, ..opts(8, false) });
+    assert_eq!(serial, per_cycle, "fast-forward on/off fig6 JSON must be byte-identical");
 
     // Warm cache: zero cells re-simulated, same bytes again.
     let (warm, warm_computed, warm_cached) = fig6_json(&opts(8, true));

@@ -165,21 +165,24 @@ impl<'p> Baseline<'p> {
         (class, attr)
     }
 
-    /// First blocking register of the group, if any: returns the stall
-    /// class implied by its pending producer, with the refined
-    /// attribution of the blocking producer.
-    fn group_block(&self, len: usize) -> Option<(CycleClass, StallAttr)> {
+    /// First blocking register of the group at cycle `now`, if any:
+    /// returns the stall class implied by its pending producer, the
+    /// refined attribution of the blocking producer, and the cycle the
+    /// blocking register becomes readable (the fast-forward wake hint).
+    fn group_block_at(&self, len: usize, now: u64) -> Option<(CycleClass, StallAttr, u64)> {
         for i in 0..len {
             let d = self.code.at(self.frontend.peek(i).pc);
             for src in d.srcs.iter() {
-                if self.ready_at[src.index()] > self.cycle {
-                    return Some(self.reg_block(src.index()));
+                if self.ready_at[src.index()] > now {
+                    let (class, attr) = self.reg_block(src.index());
+                    return Some((class, attr, self.ready_at[src.index()]));
                 }
             }
             // EPIC WAW: a destination still being produced stalls too.
             for dst in d.dests.iter() {
-                if self.ready_at[dst.index()] > self.cycle {
-                    return Some(self.reg_block(dst.index()));
+                if self.ready_at[dst.index()] > now {
+                    let (class, attr) = self.reg_block(dst.index());
+                    return Some((class, attr, self.ready_at[dst.index()]));
                 }
             }
         }
@@ -196,9 +199,16 @@ impl<'p> Baseline<'p> {
         })
     }
 
-    fn step_issue(&mut self, sink: &mut SinkHandle) -> (CycleClass, StallAttr) {
+    /// One issue attempt. On a stall, the third element is the
+    /// fast-forward wake hint: the earliest cycle at which the blocking
+    /// condition can change (`None` when no such cycle is known — e.g.
+    /// fetch is still actively filling the buffer).
+    fn step_issue(&mut self, sink: &mut SinkHandle) -> (CycleClass, StallAttr, Option<u64>) {
         let Some(group_len) = self.frontend.complete_group_len() else {
-            return (CycleClass::FrontEndStall, self.frontend_attr());
+            // A refill penalty expires at a known cycle; a merely-empty
+            // buffer can complete a group on any fetch tick.
+            let wake = self.frontend.is_refilling(self.cycle).then(|| self.frontend.resume_at());
+            return (CycleClass::FrontEndStall, self.frontend_attr(), wake);
         };
 
         // Structural: split oversubscribed groups; the prefix issues now.
@@ -211,8 +221,8 @@ impl<'p> Baseline<'p> {
         // Dependence check over the whole architectural group: EPIC
         // stalls the group if *any* member is unready, even one that
         // would issue in a later split chunk.
-        if let Some(stall) = self.group_block(group_len) {
-            return stall;
+        if let Some((class, attr, ready)) = self.group_block_at(group_len, self.cycle) {
+            return (class, attr, Some(ready));
         }
 
         // Conservative MSHR gate: a group containing a load needs room
@@ -221,7 +231,11 @@ impl<'p> Baseline<'p> {
         if let Some(i) = first_load {
             if !self.mshrs.has_room(self.cycle) {
                 let pc = self.frontend.peek(i).pc;
-                return (CycleClass::ResourceStall, StallAttr::at(StallCause::ResMshr, pc));
+                return (
+                    CycleClass::ResourceStall,
+                    StallAttr::at(StallCause::ResMshr, pc),
+                    self.mshrs.next_wakeup(self.cycle),
+                );
             }
         }
 
@@ -304,7 +318,39 @@ impl<'p> Baseline<'p> {
             sink.emit_with(|| TraceEvent::ARedirect { cycle: self.cycle, pc });
             self.frontend.redirect(pc, at);
         }
-        (CycleClass::Unstalled, StallAttr::new(StallCause::Issue))
+        (CycleClass::Unstalled, StallAttr::new(StallCause::Issue), None)
+    }
+
+    /// Audit probe: re-runs the (side-effect-free) stall classification
+    /// of [`Baseline::step_issue`] as of cycle `at`, without issuing.
+    /// Used to check that a fast-forwarded span truly had no enabled
+    /// event on its final skipped cycle.
+    #[cfg(feature = "audit")]
+    fn probe_stall(&self, at: u64) -> Option<(CycleClass, StallAttr)> {
+        let Some(group_len) = self.frontend.complete_group_len() else {
+            let cause = if self.frontend.is_refilling(at) {
+                StallCause::FeRefill
+            } else {
+                StallCause::FeEmpty
+            };
+            return Some((CycleClass::FrontEndStall, StallAttr::new(cause)));
+        };
+        if let Some((class, attr, _)) = self.group_block_at(group_len, at) {
+            return Some((class, attr));
+        }
+        let n = fitting_prefix_classes(
+            (0..group_len).map(|i| self.code.at(self.frontend.peek(i).pc).fu),
+            &self.cfg.fu_slots,
+            self.cfg.issue_width,
+        );
+        let first_load = (0..n).find(|&i| self.code.at(self.frontend.peek(i).pc).is_load);
+        if let Some(i) = first_load {
+            if !self.mshrs.has_room(at) {
+                let pc = self.frontend.peek(i).pc;
+                return Some((CycleClass::ResourceStall, StallAttr::at(StallCause::ResMshr, pc)));
+            }
+        }
+        None
     }
 
     /// Books a load's fill: L1 hits bypass the MSHRs; misses allocate or
@@ -424,7 +470,7 @@ impl<'p> Baseline<'p> {
             if sink.is_on() {
                 self.drain_pending_misses(sink);
             }
-            let (class, attr) = self.step_issue(sink);
+            let (class, attr, wake) = self.step_issue(sink);
             self.breakdown.charge(class);
             self.breakdown2.charge(attr.cause);
             if let Some(pc) = attr.pc {
@@ -461,7 +507,67 @@ impl<'p> Baseline<'p> {
             {
                 break;
             }
+            if self.cfg.fast_forward && class != CycleClass::Unstalled {
+                self.fast_forward(class, attr, wake, sink);
+            }
         }
+    }
+
+    /// Event-driven fast-forward: having just charged a stall cycle with
+    /// wake hint `wake`, jump the clock across the provably identical
+    /// stall span `[self.cycle, target)`, bulk-charging the attribution
+    /// and replaying the per-cycle trace stream so results are
+    /// byte-identical to ticking every cycle.
+    fn fast_forward(
+        &mut self,
+        class: CycleClass,
+        attr: StallAttr,
+        wake: Option<u64>,
+        sink: &mut SinkHandle,
+    ) {
+        let Some(wake) = wake else { return };
+        // The front end must be inert across the span: either stopped /
+        // buffer-full (inert until the engine itself makes progress) or
+        // refilling, which caps the jump at the refill arrival. An
+        // actively fetching front end yields `resume_at <= now`, making
+        // the span empty.
+        let target = if self.frontend.is_stopped_or_full() {
+            wake
+        } else {
+            wake.min(self.frontend.resume_at())
+        };
+        if target <= self.cycle {
+            return;
+        }
+        #[cfg(feature = "audit")]
+        assert_eq!(
+            self.probe_stall(target - 1),
+            Some((class, attr)),
+            "fast-forwarded span [{}, {target}) had an enabled event",
+            self.cycle,
+        );
+        let span = target - self.cycle;
+        self.breakdown.charge_n(class, span);
+        self.breakdown2.charge_n(attr.cause, span);
+        if let Some(pc) = attr.pc {
+            self.profile.record_n(pc, attr.cause, span);
+        }
+        if sink.is_on() {
+            // Replay the skipped cycles' trace output exactly: the class
+            // and cause are unchanged (no transitions fire), so each
+            // cycle contributes its completed-fill events and its
+            // occupancy sample, in per-cycle order.
+            for c in self.cycle..target {
+                self.cycle = c;
+                self.drain_pending_misses(sink);
+                sink.emit_with(|| TraceEvent::QueueSample {
+                    cycle: c,
+                    depth: 0,
+                    mshr: self.mshrs.outstanding(c) as u32,
+                });
+            }
+        }
+        self.cycle = target;
     }
 
     /// Runs to completion and returns both the report and the final

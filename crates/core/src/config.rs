@@ -163,6 +163,14 @@ pub struct MachineConfig {
     pub icache_miss_latency: u64,
     /// Two-pass options (ignored by the baseline model).
     pub two_pass: TwoPassConfig,
+    /// Event-driven fast-forward: when a cycle provably makes no
+    /// architectural progress, jump the clock straight to the next
+    /// enabled event (scoreboard `ready_at`, MSHR fill completion,
+    /// front-end refill arrival, B→A feedback arrival) and bulk-charge
+    /// the skipped span. Results are byte-identical either way — this is
+    /// purely a simulator-throughput knob, so it is on by default and
+    /// deliberately excluded from sweep cache keys.
+    pub fast_forward: bool,
 }
 
 impl MachineConfig {
@@ -181,6 +189,7 @@ impl MachineConfig {
             fetch_buffer: 32,
             icache_miss_latency: 10,
             two_pass: TwoPassConfig::default(),
+            fast_forward: true,
         }
     }
 

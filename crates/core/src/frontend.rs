@@ -131,6 +131,26 @@ impl<'p> Frontend<'p> {
         now < self.resume_at
     }
 
+    /// The cycle at which a pending redirect / I-miss penalty expires.
+    /// Not meaningful unless [`Frontend::is_refilling`]; fetch before
+    /// this cycle is a guaranteed no-op.
+    #[must_use]
+    pub fn resume_at(&self) -> u64 {
+        self.resume_at
+    }
+
+    /// Whether [`Frontend::tick`] is a guaranteed no-op *independently of
+    /// the clock*: fetch has stopped (halt / ran off the wrong-path end)
+    /// or the buffer is full. Both conditions can only change through
+    /// `consume`/`redirect`, i.e. through engine progress, so a stalled
+    /// engine may fast-forward across a span without ticking a
+    /// stopped-or-full front end. A merely *refilling* front end is not
+    /// inert in this sense — it wakes at [`Frontend::resume_at`].
+    #[must_use]
+    pub fn is_stopped_or_full(&self) -> bool {
+        self.fetch_pc.is_none() || self.buffer.len() >= self.config.buffer_capacity
+    }
+
     /// Fetches up to `fetch_width` instructions into the buffer.
     pub fn tick(&mut self, now: u64) {
         if now < self.resume_at {
@@ -377,6 +397,21 @@ mod tests {
         fe.redirect(0, 12);
         fe.tick(12);
         assert!(fe.peek(0).seq > last_seq);
+    }
+
+    #[test]
+    fn inertness_probe_tracks_stop_full_and_refill() {
+        let p = straightline();
+        let mut fe = Frontend::new(&p, PredictorConfig::StaticNotTaken.build(), config());
+        assert!(!fe.is_stopped_or_full(), "fresh front end is fetching");
+        fe.tick(0); // cold I-miss: refilling until 10, but not inert
+        assert!(fe.is_refilling(5));
+        assert_eq!(fe.resume_at(), 10);
+        assert!(!fe.is_stopped_or_full());
+        fe.tick(10);
+        fe.tick(11); // fetches through the halt: fetch stops
+        assert!(fe.is_stopped_or_full(), "halt stops fetch for good");
+        assert!(!fe.is_refilling(11));
     }
 
     #[test]

@@ -71,6 +71,24 @@ impl Histogram {
         }
     }
 
+    /// Records the same sample `n` times, byte-identically to calling
+    /// [`Histogram::observe`] `n` times — the bulk entry point for
+    /// fast-forwarded idle spans (n identical per-cycle samples).
+    pub fn observe_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_of(v)] += n;
+        self.count += n;
+        // Saturating, like the per-sample path: n saturating additions
+        // of v land on the same value as one saturating add of v*n
+        // (both stick at u64::MAX once the true sum exceeds it).
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
     /// Number of samples recorded.
     #[must_use]
     pub fn count(&self) -> u64 {
@@ -418,6 +436,32 @@ mod tests {
             assert!(h.quantile_bound(1.0) <= hi.max(v));
             assert_eq!(h.mean(), v as f64);
         }
+    }
+
+    #[test]
+    fn observe_n_matches_n_single_observes() {
+        for (v, n) in [(0u64, 3u64), (1, 1), (7, 1000), (u64::MAX, 2), (1u64 << 40, 1 << 25)] {
+            let mut bulk = Histogram::new();
+            bulk.observe(13); // pre-existing state must not matter
+            bulk.observe_n(v, n);
+            let mut loop_h = Histogram::new();
+            loop_h.observe(13);
+            for _ in 0..n.min(4096) {
+                loop_h.observe(v);
+            }
+            if n <= 4096 {
+                assert_eq!(bulk, loop_h, "v={v} n={n}");
+            } else {
+                // Too many iterations to replay literally; check the
+                // closed-form fields instead.
+                assert_eq!(bulk.count(), n + 1, "v={v} n={n}");
+                assert_eq!(bulk.max(), v.max(13));
+                assert_eq!(bulk.sum(), 13u64.saturating_add(v.saturating_mul(n)));
+            }
+        }
+        let mut h = Histogram::new();
+        h.observe_n(5, 0);
+        assert_eq!(h, Histogram::new(), "observe_n(_, 0) is a no-op");
     }
 
     #[test]

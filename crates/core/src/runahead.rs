@@ -253,7 +253,7 @@ impl<'p> Runahead<'p> {
             if sink.is_on() {
                 self.drain_pending_misses(sink);
             }
-            let (class, attr) =
+            let (class, attr, wake) =
                 if self.ra.is_some() { self.ra_step(sink) } else { self.normal_step(sink) };
             self.breakdown.charge(class);
             self.breakdown2.charge(attr.cause);
@@ -292,7 +292,60 @@ impl<'p> Runahead<'p> {
             {
                 break;
             }
+            if self.cfg.fast_forward && class != CycleClass::Unstalled {
+                self.fast_forward(class, attr, wake, sink);
+            }
         }
+    }
+
+    /// Event-driven fast-forward across a provably identical idle span
+    /// (see [`crate::Baseline`] for the scheme). Skipped runahead-mode
+    /// cycles also bulk-charge `runahead_cycles`, exactly as ticking
+    /// each idle episode cycle would.
+    fn fast_forward(
+        &mut self,
+        class: CycleClass,
+        attr: StallAttr,
+        wake: Option<u64>,
+        sink: &mut SinkHandle,
+    ) {
+        let Some(wake) = wake else { return };
+        let target = if self.frontend.is_stopped_or_full() {
+            wake
+        } else {
+            wake.min(self.frontend.resume_at())
+        };
+        if target <= self.cycle {
+            return;
+        }
+        #[cfg(feature = "audit")]
+        assert_eq!(
+            self.probe_stall(target - 1),
+            Some((class, attr)),
+            "fast-forwarded span [{}, {target}) had an enabled event",
+            self.cycle,
+        );
+        let span = target - self.cycle;
+        self.breakdown.charge_n(class, span);
+        self.breakdown2.charge_n(attr.cause, span);
+        if let Some(pc) = attr.pc {
+            self.profile.record_n(pc, attr.cause, span);
+        }
+        if self.ra.is_some() {
+            self.ra_stats.runahead_cycles += span;
+        }
+        if sink.is_on() {
+            for c in self.cycle..target {
+                self.cycle = c;
+                self.drain_pending_misses(sink);
+                sink.emit_with(|| TraceEvent::QueueSample {
+                    cycle: c,
+                    depth: 0,
+                    mshr: self.mshrs.outstanding(c) as u32,
+                });
+            }
+        }
+        self.cycle = target;
     }
 
     /// Emits `MissEnd` for every booked fill that has completed.
@@ -320,10 +373,14 @@ impl<'p> Runahead<'p> {
     }
 
     /// Normal-mode issue: identical to the baseline, except a load-use
-    /// stall flips the machine into runahead instead of idling.
-    fn normal_step(&mut self, sink: &mut SinkHandle) -> (CycleClass, StallAttr) {
+    /// stall flips the machine into runahead instead of idling. On a
+    /// stall, the third element is the fast-forward wake hint (`None`
+    /// when the next cycle may differ — e.g. a runahead episode just
+    /// opened, or fetch is actively filling the buffer).
+    fn normal_step(&mut self, sink: &mut SinkHandle) -> (CycleClass, StallAttr, Option<u64>) {
         let Some(group_len) = self.frontend.complete_group_len() else {
-            return (CycleClass::FrontEndStall, self.frontend_attr());
+            let wake = self.frontend.is_refilling(self.cycle).then(|| self.frontend.resume_at());
+            return (CycleClass::FrontEndStall, self.frontend_attr(), wake);
         };
 
         // Dependence check at issue-group granularity.
@@ -354,8 +411,10 @@ impl<'p> Runahead<'p> {
                 // members before it have not executed architecturally.
                 let head_pc = self.frontend.peek(0).pc;
                 self.enter_runahead(head_pc, until, attr, sink);
+                // The next cycle runs in runahead mode — never skip it.
+                return (class, attr, None);
             }
-            return (class, attr);
+            return (class, attr, Some(until));
         }
 
         let n = fitting_prefix_classes(
@@ -366,7 +425,11 @@ impl<'p> Runahead<'p> {
         if let Some(i) = (0..n).find(|&i| self.code.at(self.frontend.peek(i).pc).is_load) {
             if !self.mshrs.has_room(self.cycle) {
                 let pc = self.frontend.peek(i).pc;
-                return (CycleClass::ResourceStall, StallAttr::at(StallCause::ResMshr, pc));
+                return (
+                    CycleClass::ResourceStall,
+                    StallAttr::at(StallCause::ResMshr, pc),
+                    self.mshrs.next_wakeup(self.cycle),
+                );
             }
         }
 
@@ -455,7 +518,59 @@ impl<'p> Runahead<'p> {
             sink.emit_with(|| TraceEvent::ARedirect { cycle: self.cycle, pc });
             self.frontend.redirect(pc, at);
         }
-        (CycleClass::Unstalled, StallAttr::new(StallCause::Issue))
+        (CycleClass::Unstalled, StallAttr::new(StallCause::Issue), None)
+    }
+
+    /// Audit probe: re-derives the idle classification as of cycle `at`
+    /// without side effects, to check that a fast-forwarded span truly
+    /// had no enabled event on its final skipped cycle.
+    #[cfg(feature = "audit")]
+    fn probe_stall(&self, at: u64) -> Option<(CycleClass, StallAttr)> {
+        if let Some(ra) = &self.ra {
+            // A skipped runahead cycle must be idle: episode still open
+            // and nothing issuable.
+            assert!(at < ra.until, "fast-forward overran the episode end");
+            assert!(
+                ra.done || self.frontend.complete_group_len().is_none(),
+                "fast-forwarded runahead span had an issuable group"
+            );
+            return Some((CycleClass::LoadStall, ra.attr));
+        }
+        let Some(group_len) = self.frontend.complete_group_len() else {
+            let cause = if self.frontend.is_refilling(at) {
+                StallCause::FeRefill
+            } else {
+                StallCause::FeEmpty
+            };
+            return Some((CycleClass::FrontEndStall, StallAttr::new(cause)));
+        };
+        for i in 0..group_len {
+            let pc = self.frontend.peek(i).pc;
+            let d = self.code.at(pc);
+            for reg in d.srcs.iter().chain(d.dests.iter()) {
+                let idx = reg.index();
+                if self.ready_at[idx] > at {
+                    let class = if self.pending_load[idx] {
+                        CycleClass::LoadStall
+                    } else {
+                        CycleClass::NonLoadDepStall
+                    };
+                    return Some((class, StallAttr::at(self.reg_cause[idx], self.reg_pc[idx])));
+                }
+            }
+        }
+        let n = fitting_prefix_classes(
+            (0..group_len).map(|i| self.code.at(self.frontend.peek(i).pc).fu),
+            &self.cfg.fu_slots,
+            self.cfg.issue_width,
+        );
+        if let Some(i) = (0..n).find(|&i| self.code.at(self.frontend.peek(i).pc).is_load) {
+            if !self.mshrs.has_room(at) {
+                let pc = self.frontend.peek(i).pc;
+                return Some((CycleClass::ResourceStall, StallAttr::at(StallCause::ResMshr, pc)));
+            }
+        }
+        None
     }
 
     fn enter_runahead(
@@ -482,8 +597,9 @@ impl<'p> Runahead<'p> {
 
     /// One cycle of runahead pre-execution. Architecturally the machine
     /// is still stalled on the blocking load, so the cycle is charged as
-    /// a load stall.
-    fn ra_step(&mut self, sink: &mut SinkHandle) -> (CycleClass, StallAttr) {
+    /// a load stall. On an idle runahead cycle (episode done, or fetch
+    /// starved), the third element is the fast-forward wake hint.
+    fn ra_step(&mut self, sink: &mut SinkHandle) -> (CycleClass, StallAttr, Option<u64>) {
         let mut ra = self.ra.take().expect("in runahead mode");
         self.ra_stats.runahead_cycles += 1;
         let attr = ra.attr;
@@ -497,14 +613,23 @@ impl<'p> Runahead<'p> {
                 discarded: self.ra_stats.discarded_instrs - ra.discarded_at_entry,
             });
             self.frontend.redirect(ra.resume_pc, self.cycle + EXIT_PENALTY);
-            return (CycleClass::LoadStall, attr);
+            return (CycleClass::LoadStall, attr, None);
         }
 
-        if !ra.done {
+        let mut wake = None;
+        if ra.done {
+            // Ran off a halt: nothing left to pre-execute, idle until the
+            // blocking load returns.
+            wake = Some(ra.until);
+        } else if self.frontend.complete_group_len().is_some() {
             self.ra_issue(&mut ra, sink);
+        } else {
+            // Fetch-starved runahead cycle: idle until the front end
+            // refills (the run loop caps the jump) or the episode ends.
+            wake = Some(ra.until);
         }
         self.ra = Some(ra);
-        (CycleClass::LoadStall, attr)
+        (CycleClass::LoadStall, attr, wake)
     }
 
     /// Issues one group speculatively under INV semantics.
@@ -782,7 +907,7 @@ mod tests {
         let mut off = SinkHandle::off();
         while !sim.halted && guard < 1_000_000 {
             sim.frontend.tick(sim.cycle);
-            let (class, attr) =
+            let (class, attr, _wake) =
                 if sim.ra.is_some() { sim.ra_step(&mut off) } else { sim.normal_step(&mut off) };
             sim.breakdown.charge(class);
             sim.breakdown2.charge(attr.cause);

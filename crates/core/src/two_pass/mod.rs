@@ -60,6 +60,25 @@ struct FlushPlan {
     kind: FlushKind,
 }
 
+/// Why the A-pipe dispatched nothing this cycle (`None` from
+/// [`TwoPass::a_step`] means it made progress). Fast-forward may skip a
+/// span only for reasons that are provably stable while both pipes are
+/// inert: `FpBlock` depends on A-file producer timers that advance with
+/// the clock, so it never skips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AIdle {
+    /// The A-pipe already dispatched `halt`.
+    Halted,
+    /// The §3.5 deferral throttle holds dispatch.
+    Throttled,
+    /// The fetch buffer holds no complete issue group.
+    NoGroup,
+    /// The coupling queue has no free slot.
+    QueueFull,
+    /// `stall_on_anticipable_fp` blocks on an in-flight FP producer.
+    FpBlock,
+}
+
 /// A register written by an earlier entry of the bundle under check:
 /// `avail = true` means available at merge time (pre-executed), `false`
 /// means produced later this cycle (deferred) and unusable by bundle
@@ -285,11 +304,12 @@ impl<'p> TwoPass<'p> {
             if sink.is_on() {
                 self.drain_pending_misses(sink);
             }
-            let (class, attr) = self.b_step(sink);
+            let (class, attr, b_wake) = self.b_step(sink);
             #[cfg(feature = "audit")]
             let b_fingerprint = self.audit_b_fingerprint();
+            let mut a_idle = Some(AIdle::Halted);
             if !self.halted {
-                self.a_step(sink);
+                a_idle = self.a_step(sink);
             }
             #[cfg(feature = "audit")]
             {
@@ -331,7 +351,83 @@ impl<'p> TwoPass<'p> {
             if self.frontend.is_drained() && self.cq.is_empty() && !self.halted {
                 break; // defensive: no further progress possible
             }
+            if self.cfg.fast_forward && class != CycleClass::Unstalled {
+                self.fast_forward(class, attr, b_wake, a_idle, sink);
+            }
         }
+    }
+
+    /// Event-driven fast-forward: with the B-pipe stalled (with a known
+    /// wake event) and the A-pipe idle for a clock-independent reason,
+    /// every intermediate cycle replays the same stall, so jump straight
+    /// to the earliest event that could change anything — the B-pipe
+    /// wake, the next pending feedback arrival, or the front end's
+    /// refill completion — bulk-charging the skipped span. Results are
+    /// byte-identical to per-cycle simulation.
+    fn fast_forward(
+        &mut self,
+        class: CycleClass,
+        attr: StallAttr,
+        wake: Option<u64>,
+        a_idle: Option<AIdle>,
+        sink: &mut SinkHandle,
+    ) {
+        let Some(wake) = wake else { return };
+        let idle = match a_idle {
+            // FpBlock depends on A-file timers that advance with the
+            // clock; a throttle or full queue can only be released by
+            // B-pipe progress, a missing group only by fetch progress.
+            Some(i) if i != AIdle::FpBlock => i,
+            _ => return,
+        };
+        let mut target = wake;
+        // A feedback message landing mid-span would update the A-file
+        // (and the applied/stale counters) at a clamped cycle; stop
+        // there and let the landing cycle apply it on time.
+        if let Some(fb) = self.feedback.iter().map(|m| m.apply_at).min() {
+            target = target.min(fb);
+        }
+        // An actively fetching front end makes progress every cycle; a
+        // refilling one is inert until its resume cycle. (Stopped or
+        // full, `tick` is a guaranteed no-op at any clock value.)
+        if !self.frontend.is_stopped_or_full() {
+            target = target.min(self.frontend.resume_at());
+        }
+        if target <= self.cycle {
+            return;
+        }
+        #[cfg(feature = "audit")]
+        self.audit_ff_span(class, attr, idle, target);
+        let span = target - self.cycle;
+        self.breakdown.charge_n(class, span);
+        self.breakdown2.charge_n(attr.cause, span);
+        if let Some(pc) = attr.pc {
+            self.profile.record_n(pc, attr.cause, span);
+        }
+        let depth = self.cq.len() as u64;
+        self.stats.queue_occupancy_sum += depth * span;
+        self.stats.queue_depth_hist.observe_n(depth, span);
+        match idle {
+            AIdle::Throttled => self.stats.throttled_cycles += span,
+            AIdle::QueueFull => self.stats.queue_full_cycles += span,
+            _ => {}
+        }
+        if sink.is_on() {
+            // Replay the per-cycle trace stream for the span: fills that
+            // complete mid-span emit `MissEnd` at their true cycles, and
+            // the queue/MSHR occupancy samples keep their 1 Hz cadence.
+            // Class/cause transitions cannot fire (the stall is constant).
+            for c in self.cycle..target {
+                self.cycle = c;
+                self.drain_pending_misses(sink);
+                sink.emit_with(|| TraceEvent::QueueSample {
+                    cycle: c,
+                    depth: depth as u32,
+                    mshr: self.mshrs.outstanding(c) as u32,
+                });
+            }
+        }
+        self.cycle = target;
     }
 
     /// Emits `MissEnd` for every booked fill that has completed.
@@ -406,8 +502,14 @@ impl<'p> TwoPass<'p> {
     /// the stall class, whether the block is *internal* — a
     /// dependence on a deferred bundle peer, which time will not resolve
     /// (the bundle must split there) — or *external* (stall the group,
-    /// EPIC-style), and the refined attribution of the blocking producer.
-    fn bundle_block(&mut self, len: usize) -> Option<(usize, CycleClass, bool, StallAttr)> {
+    /// EPIC-style), the refined attribution of the blocking producer,
+    /// and, for external blocks, the cycle the block resolves (the
+    /// producer's `ready_at`, or the earliest MSHR fill for a structural
+    /// block) — the fast-forward wake hint.
+    fn bundle_block(
+        &mut self,
+        len: usize,
+    ) -> Option<(usize, CycleClass, bool, StallAttr, Option<u64>)> {
         // Reuse the scratch buffer across cycles: take it out of `self`
         // so the scan can borrow the rest of the machine immutably.
         let mut written = std::mem::take(&mut self.bundle_scratch);
@@ -421,7 +523,7 @@ impl<'p> TwoPass<'p> {
         &self,
         len: usize,
         written: &mut Vec<BundleWrite>,
-    ) -> Option<(usize, CycleClass, bool, StallAttr)> {
+    ) -> Option<(usize, CycleClass, bool, StallAttr, Option<u64>)> {
         let now = self.cycle;
         let find = |written: &[BundleWrite], idx: usize| {
             written.iter().rev().position(|w| w.reg == idx).map(|p| written.len() - 1 - p)
@@ -444,7 +546,7 @@ impl<'p> TwoPass<'p> {
                         };
                         let attr = StallAttr::at(cause, e.pc);
                         debug_assert_eq!(attr.cause.class(), class);
-                        return Some((i, class, false, attr));
+                        return Some((i, class, false, attr, Some(ready_at)));
                     }
                     for w in writes.iter() {
                         written.push(BundleWrite {
@@ -463,7 +565,7 @@ impl<'p> TwoPass<'p> {
                             Some(w) => {
                                 let attr = StallAttr::at(written[w].cause, written[w].pc);
                                 debug_assert_eq!(attr.cause.class(), CycleClass::NonLoadDepStall);
-                                return Some((i, CycleClass::NonLoadDepStall, true, attr));
+                                return Some((i, CycleClass::NonLoadDepStall, true, attr, None));
                             }
                             None => {
                                 if self.b_ready[idx] > now {
@@ -474,14 +576,15 @@ impl<'p> TwoPass<'p> {
                                     };
                                     let attr = StallAttr::at(self.b_cause[idx], self.b_pc[idx]);
                                     debug_assert_eq!(attr.cause.class(), class);
-                                    return Some((i, class, false, attr));
+                                    return Some((i, class, false, attr, Some(self.b_ready[idx])));
                                 }
                             }
                         }
                     }
                     if d.is_load && !self.mshrs.has_room(now) {
                         let attr = StallAttr::at(StallCause::ResMshr, e.pc);
-                        return Some((i, CycleClass::ResourceStall, false, attr));
+                        let wake = self.mshrs.next_wakeup(now);
+                        return Some((i, CycleClass::ResourceStall, false, attr, wake));
                     }
                     // WAW against a deferred peer also forces a split:
                     // sequential apply order must be preserved in time.
@@ -490,7 +593,7 @@ impl<'p> TwoPass<'p> {
                             if !written[w].avail {
                                 let attr = StallAttr::at(written[w].cause, written[w].pc);
                                 debug_assert_eq!(attr.cause.class(), CycleClass::NonLoadDepStall);
-                                return Some((i, CycleClass::NonLoadDepStall, true, attr));
+                                return Some((i, CycleClass::NonLoadDepStall, true, attr, None));
                             }
                         }
                     }
@@ -508,7 +611,11 @@ impl<'p> TwoPass<'p> {
         None
     }
 
-    fn b_step(&mut self, sink: &mut SinkHandle) -> (CycleClass, StallAttr) {
+    /// The third element is the fast-forward wake hint: the earliest
+    /// cycle at which this stall could resolve, when one is knowable.
+    /// `FeEmpty` and `APipe` report `None` — the A-pipe or front end may
+    /// make progress the very next cycle.
+    fn b_step(&mut self, sink: &mut SinkHandle) -> (CycleClass, StallAttr, Option<u64>) {
         let glen = match self.cq.head_group_len(self.cycle) {
             Some(g) => g,
             // A group larger than the coupling queue can never present a
@@ -524,11 +631,15 @@ impl<'p> TwoPass<'p> {
                 // Nothing consumable: starving on fetch, or waiting for
                 // the A-pipe's one-cycle head start.
                 return if self.frontend.is_refilling(self.cycle) {
-                    (CycleClass::FrontEndStall, StallAttr::new(StallCause::FeRefill))
+                    (
+                        CycleClass::FrontEndStall,
+                        StallAttr::new(StallCause::FeRefill),
+                        Some(self.frontend.resume_at()),
+                    )
                 } else if self.frontend.complete_group_len().is_none() {
-                    (CycleClass::FrontEndStall, StallAttr::new(StallCause::FeEmpty))
+                    (CycleClass::FrontEndStall, StallAttr::new(StallCause::FeEmpty), None)
                 } else {
-                    (CycleClass::APipeStall, StallAttr::new(StallCause::APipe))
+                    (CycleClass::APipeStall, StallAttr::new(StallCause::APipe), None)
                 };
             }
         };
@@ -537,9 +648,9 @@ impl<'p> TwoPass<'p> {
         // alone would never resolve it; an external one stalls the whole
         // group at EPIC issue-group granularity.
         let mut issue_len = glen;
-        if let Some((idx, stall, internal, attr)) = self.bundle_block(glen) {
+        if let Some((idx, stall, internal, attr, wake)) = self.bundle_block(glen) {
             if !internal || idx == 0 {
-                return (stall, attr);
+                return (stall, attr, wake);
             }
             issue_len = idx;
         }
@@ -596,7 +707,7 @@ impl<'p> TwoPass<'p> {
         if let Some(plan) = flush {
             self.do_flush(plan, sink);
         }
-        (CycleClass::Unstalled, StallAttr::new(StallCause::Issue))
+        (CycleClass::Unstalled, StallAttr::new(StallCause::Issue), None)
     }
 
     /// Retires one queue entry into architectural state. Returns `true`
@@ -927,15 +1038,19 @@ impl<'p> TwoPass<'p> {
         }
     }
 
-    fn a_step(&mut self, sink: &mut SinkHandle) {
+    /// Dispatches one issue group into the coupling queue. Returns the
+    /// reason nothing was dispatched, or `None` on progress — the
+    /// fast-forward layer skips a stalled span only when the reason is
+    /// stable under an advancing clock (see [`AIdle`]).
+    fn a_step(&mut self, sink: &mut SinkHandle) -> Option<AIdle> {
         if self.a_halted {
-            return;
+            return Some(AIdle::Halted);
         }
         if self.throttle_check() {
-            return;
+            return Some(AIdle::Throttled);
         }
         let Some(glen) = self.frontend.complete_group_len() else {
-            return;
+            return Some(AIdle::NoGroup);
         };
         let mut n = fitting_prefix_classes(
             (0..glen).map(|i| self.code.at(self.frontend.peek(i).pc).fu),
@@ -950,7 +1065,7 @@ impl<'p> TwoPass<'p> {
         let free = self.cq.free();
         if free == 0 {
             self.stats.queue_full_cycles += 1;
-            return;
+            return Some(AIdle::QueueFull);
         }
         n = n.min(free);
 
@@ -965,7 +1080,7 @@ impl<'p> TwoPass<'p> {
                     )
                 });
                 if blocked {
-                    return;
+                    return Some(AIdle::FpBlock);
                 }
             }
         }
@@ -1057,6 +1172,7 @@ impl<'p> TwoPass<'p> {
             sink.emit_with(|| TraceEvent::ARedirect { cycle: self.cycle, pc });
             self.frontend.redirect(pc, at);
         }
+        None
     }
 
     /// Executes one instruction in the A-pipe. Returns the queue state
@@ -1249,6 +1365,76 @@ impl TwoPass<'_> {
                 self.cycle
             );
             prev = Some((e.seq, e.enq_cycle));
+        }
+    }
+
+    /// Fast-forward legality: the cycle just before the landing cycle —
+    /// the last one skipped — must re-derive the *same* B-pipe stall, the
+    /// A-pipe idle reason must still hold, and no B→A feedback message
+    /// may land inside the span. Re-deriving at `target - 1` covers the
+    /// whole span: every stall predicate here is monotone in the clock
+    /// (a `ready_at`/fill/refill boundary not yet crossed at `target - 1`
+    /// was not crossed earlier either).
+    fn audit_ff_span(&mut self, class: CycleClass, attr: StallAttr, idle: AIdle, target: u64) {
+        let start = self.cycle;
+        assert!(
+            self.feedback.iter().all(|m| m.apply_at >= target),
+            "audit: fast-forwarded span [{start}, {target}) crosses a feedback arrival",
+        );
+        self.cycle = target - 1;
+        let probed = self.probe_b_stall();
+        assert_eq!(
+            probed,
+            Some((class, attr)),
+            "audit: fast-forwarded span [{start}, {target}) had an enabled B-pipe event",
+        );
+        let still_idle = match idle {
+            AIdle::Halted => self.a_halted,
+            AIdle::Throttled => {
+                self.throttled
+                    && self
+                        .cfg
+                        .two_pass
+                        .throttle
+                        .is_some_and(|t| self.cq.len() > t.resume_occupancy)
+            }
+            AIdle::NoGroup => self.frontend.complete_group_len().is_none(),
+            AIdle::QueueFull => self.cq.free() == 0,
+            AIdle::FpBlock => false, // never skipped
+        };
+        assert!(
+            still_idle,
+            "audit: fast-forwarded span [{start}, {target}) had an enabled A-pipe event \
+             (idle reason {idle:?} no longer holds)",
+        );
+        self.cycle = start;
+    }
+
+    /// Read-only re-derivation of `b_step`'s stall classification at the
+    /// current clock. `None` means the B-pipe would make progress.
+    fn probe_b_stall(&mut self) -> Option<(CycleClass, StallAttr)> {
+        let glen = match self.cq.head_group_len(self.cycle) {
+            Some(g) => g,
+            None if self.cq.free() == 0
+                && self.cq.get(self.cq.len() - 1).is_some_and(|e| e.enq_cycle < self.cycle) =>
+            {
+                return None; // oversized-group chunk: consumable
+            }
+            None => {
+                return Some(if self.frontend.is_refilling(self.cycle) {
+                    (CycleClass::FrontEndStall, StallAttr::new(StallCause::FeRefill))
+                } else if self.frontend.complete_group_len().is_none() {
+                    (CycleClass::FrontEndStall, StallAttr::new(StallCause::FeEmpty))
+                } else {
+                    (CycleClass::APipeStall, StallAttr::new(StallCause::APipe))
+                });
+            }
+        };
+        match self.bundle_block(glen) {
+            Some((idx, stall, internal, attr, _wake)) if !internal || idx == 0 => {
+                Some((stall, attr))
+            }
+            _ => None,
         }
     }
 

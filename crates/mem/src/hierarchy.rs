@@ -3,6 +3,13 @@
 //! Latencies follow the paper's Table 1: each level has an *effective
 //! access latency* — the load-to-use delay when the access is serviced by
 //! that level (L1 2, L2 5, L3 15, memory 145 cycles by default).
+//!
+//! The hierarchy itself is combinational: a lookup classifies the access
+//! and returns its latency in the same call, and no state here evolves
+//! with the clock between lookups. It therefore contributes no wake
+//! events to the event-driven fast-forward layer — all timing lives in
+//! the [`crate::MshrFile`] fill times (`MshrFile::next_wakeup`) derived
+//! from the latencies this module hands out.
 
 use crate::cache::{Cache, CacheGeometry, GeometryError};
 use serde::{Deserialize, Serialize};

@@ -102,9 +102,31 @@ impl MshrFile {
     }
 
     /// Entries still in flight at cycle `now`.
+    ///
+    /// Boundary convention (shared with [`MshrFile::has_room`],
+    /// [`MshrFile::pending_fill`] and `expire`): an entry completing *at*
+    /// `now` is no longer outstanding — every in-flight predicate is
+    /// `done_at > now`. A fast-forward that lands the clock exactly on
+    /// [`MshrFile::next_wakeup`] therefore observes the fill as already
+    /// complete, neither double-counting nor skipping the fill cycle.
     #[must_use]
     pub fn outstanding(&self, now: u64) -> usize {
         self.entries.iter().filter(|e| e.done_at > now).count()
+    }
+
+    /// Earliest cycle strictly after `now` at which an in-flight fill
+    /// completes, or `None` when nothing is outstanding at `now`.
+    ///
+    /// This is the MSHR's contribution to an event-driven fast-forward:
+    /// a machine stalled on MSHR capacity cannot unblock before this
+    /// cycle, and (per the `done_at > now` boundary convention) is
+    /// guaranteed to see the completing fill when it lands exactly here.
+    #[must_use]
+    pub fn next_wakeup(&self, now: u64) -> Option<u64> {
+        // Scan the entries rather than trusting `earliest_done`: that
+        // cache is only refreshed by `expire`, so it may name an
+        // already-completed fill.
+        self.entries.iter().map(|e| e.done_at).filter(|&d| d > now).min()
     }
 
     fn expire(&mut self, now: u64) {
@@ -250,6 +272,41 @@ mod tests {
         assert_eq!(m.outstanding(5), 2);
         assert_eq!(m.outstanding(15), 1);
         assert_eq!(m.outstanding(25), 0);
+    }
+
+    #[test]
+    fn next_wakeup_is_the_earliest_in_flight_completion() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.next_wakeup(0), None, "empty file has no wakeup");
+        m.request(0, 0x40, 10, MemLevel::L2);
+        m.request(0, 0x80, 20, MemLevel::L3);
+        assert_eq!(m.next_wakeup(0), Some(10));
+        // An entry completing exactly at `now` is no longer in flight, so
+        // the wakeup moves past it even before `expire` has pruned it.
+        assert_eq!(m.next_wakeup(10), Some(20));
+        assert_eq!(m.next_wakeup(15), Some(20));
+        assert_eq!(m.next_wakeup(20), None);
+    }
+
+    #[test]
+    fn fast_forward_landing_on_earliest_done_sees_a_consistent_boundary() {
+        // Regression pin for the `done_at == now` convention: a machine
+        // that jumps the clock from 5 straight to the earliest completion
+        // must find room exactly at the landing cycle, with outstanding /
+        // has_room / pending_fill / next_wakeup all agreeing.
+        let mut m = MshrFile::new(1);
+        m.request(0, 0x40, 10, MemLevel::Mem);
+        assert!(!m.has_room(5));
+        let wake = m.next_wakeup(5).expect("a full file always has a wakeup");
+        assert_eq!(wake, 10);
+        assert_eq!(m.outstanding(wake), 0, "fill at `now` is complete");
+        assert!(m.has_room(wake), "landing on the wakeup frees the slot");
+        assert_eq!(m.pending_fill(wake, 0x40), None, "fill at `now` is not pending");
+        assert_eq!(m.next_wakeup(wake), None, "no double-counting of the fill cycle");
+        // ...and the freed slot is usable in that same cycle, exactly as
+        // a per-cycle simulation retrying at cycle 10 would see it.
+        assert_eq!(m.request(wake, 0x80, 30, MemLevel::L2), Some(30));
+        assert_eq!(m.stats().full_stall_cycles, 0, "the landing retry is not a stall");
     }
 
     #[test]

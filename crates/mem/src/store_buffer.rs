@@ -9,6 +9,12 @@
 //! Entries are keyed by the dynamic instruction sequence number, giving an
 //! unambiguous age order for forwarding and for squashing wrong-path
 //! stores on a flush.
+//!
+//! The buffer is time-free: insert/forward/drain happen at the caller's
+//! instant and nothing in here matures with the clock, so it exposes no
+//! `next_wakeup` and never bounds an event-driven fast-forward jump
+//! (unlike [`crate::MshrFile`], whose fills are the canonical wake
+//! events).
 
 use serde::{Deserialize, Serialize};
 

@@ -44,6 +44,28 @@ fn oracle_holds_on_100_random_seeds() {
     }
 }
 
+/// Fast-forward does not weaken the oracle: random programs simulated
+/// with event-driven cycle skipping produce the same reports as the
+/// per-cycle machines, and the differential oracle still holds. With
+/// the `audit` feature this also runs the skipped-span legality
+/// assertion on every jump.
+#[test]
+fn oracle_holds_with_fast_forward_on_random_seeds() {
+    let gen_cfg = GeneratorConfig::default();
+    let mut on_cfg = cfg();
+    on_cfg.fast_forward = true;
+    let mut off_cfg = cfg();
+    off_cfg.fast_forward = false;
+    for seed in 0..50 {
+        let (program, mem) = random_program(seed, &gen_cfg);
+        let on = differential_oracle(&program, &mem, &on_cfg, BUDGET);
+        assert!(on.ok(), "seed {seed} (ff on): {:?}", on.failures);
+        let off = differential_oracle(&program, &mem, &off_cfg, BUDGET);
+        assert!(off.ok(), "seed {seed} (ff off): {:?}", off.failures);
+        assert_eq!(on.halted, off.halted, "seed {seed}: halt status diverged");
+    }
+}
+
 /// Regression pin for two generator bugs `ff_verify` surfaced:
 ///
 /// * predicated ops could read a PWORK predicate no compare ever

@@ -1,0 +1,95 @@
+//! Fast-forward equivalence: event-driven cycle skipping is a pure
+//! simulator-throughput optimisation, so every model on every kernel
+//! must produce an *identical* report, identical final architectural
+//! state, and a byte-identical trace stream with `fast_forward` on and
+//! off. Any divergence here means the skip legality analysis is wrong.
+
+use ff_isa::reg::TOTAL_REGS;
+use fleaflicker::core::{Baseline, JsonlSink, MachineConfig, Runahead, SimReport, TwoPass};
+use fleaflicker::workloads::{paper_benchmarks, Scale, Workload};
+
+/// Runs one model under one config twice — traced and untraced — and
+/// returns the report, final registers, and the raw JSONL trace bytes.
+fn run_all(
+    w: &Workload,
+    cfg: &MachineConfig,
+    label: &str,
+) -> (SimReport, [u64; TOTAL_REGS], Vec<u8>) {
+    let mut sink = JsonlSink::new(Vec::new());
+    let traced_report = match label {
+        "Base" => Baseline::new(&w.program, w.memory.clone(), cfg.clone())
+            .run_with_sink(w.budget, &mut sink),
+        "Ra" => Runahead::new(&w.program, w.memory.clone(), cfg.clone())
+            .run_with_sink(w.budget, &mut sink),
+        _ => TwoPass::new(&w.program, w.memory.clone(), cfg.clone())
+            .run_with_sink(w.budget, &mut sink),
+    };
+    assert!(!sink.errored(), "{}: {label}: sink errored", w.name);
+    let bytes = sink.into_inner().unwrap();
+
+    let (report, regs) = match label {
+        "Base" => {
+            let (r, regs, _mem) =
+                Baseline::new(&w.program, w.memory.clone(), cfg.clone()).run_with_state(w.budget);
+            (r, regs)
+        }
+        "Ra" => {
+            let (r, regs, _mem) =
+                Runahead::new(&w.program, w.memory.clone(), cfg.clone()).run_with_state(w.budget);
+            (r, regs)
+        }
+        _ => {
+            let (r, regs, _mem) =
+                TwoPass::new(&w.program, w.memory.clone(), cfg.clone()).run_with_state(w.budget);
+            (r, regs)
+        }
+    };
+    // Traced and untraced runs of the same machine must agree (the
+    // trace replay path may not perturb simulation).
+    assert_eq!(traced_report, report, "{}: {label}: traced vs untraced report", w.name);
+    (report, regs, bytes)
+}
+
+fn config_for(label: &str, fast_forward: bool) -> MachineConfig {
+    let mut cfg = MachineConfig::paper_table1();
+    cfg.fast_forward = fast_forward;
+    cfg.two_pass.regroup = label == "2Pre";
+    cfg
+}
+
+#[test]
+fn fast_forward_is_byte_identical_on_every_model_and_kernel() {
+    for w in paper_benchmarks(Scale::Tiny) {
+        for label in ["Base", "2P", "2Pre", "Ra"] {
+            let (on, on_regs, on_bytes) = run_all(&w, &config_for(label, true), label);
+            let (off, off_regs, off_bytes) = run_all(&w, &config_for(label, false), label);
+            assert_eq!(on, off, "{}: {label}: report differs with fast-forward", w.name);
+            assert_eq!(on_regs, off_regs, "{}: {label}: final registers differ", w.name);
+            assert!(
+                on_bytes == off_bytes,
+                "{}: {label}: trace stream differs with fast-forward ({} vs {} bytes)",
+                w.name,
+                on_bytes.len(),
+                off_bytes.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn fast_forward_targets_a_genuinely_miss_dominated_kernel() {
+    // A guard for the perf gate's premise: on the pointer-chasing
+    // kernel the skipped spans must dwarf the busy cycles, i.e. load
+    // stalls dominate. If this drifts, `perf_snapshot --ff-gate` is
+    // measuring the wrong workload.
+    let w = fleaflicker::workloads::benchmark_by_name("mcf-like", Scale::Tiny).unwrap();
+    let report =
+        Baseline::new(&w.program, w.memory.clone(), MachineConfig::paper_table1()).run(w.budget);
+    let load_stalls = report.breakdown.load_stalls();
+    assert!(
+        load_stalls * 2 > report.cycles,
+        "{}: expected a miss-dominated kernel (load stalls {load_stalls} of {} cycles)",
+        w.name,
+        report.cycles
+    );
+}
