@@ -18,6 +18,7 @@
 //! | `cargo run -p ff-bench --bin runahead_compare` | §2 — idealized runahead comparison |
 //! | `cargo run -p ff-bench --bin ff_trace` | record + analyze JSONL pipeline traces (see [`traceview`]) |
 //! | `cargo run -p ff-bench --bin perf_snapshot` | simulator self-profiling / perf trajectory (see [`selfprof`]) |
+//! | `cargo run -p ff-bench --bin ff_report` | run warehouse, regression diffs, HTML dashboard (see [`report`]) |
 //!
 //! Every experiment binary runs its grid through the shared [`sweep`]
 //! engine: cells fan out across all cores (`--jobs N|max`), completed
@@ -33,6 +34,7 @@
 
 pub mod experiments;
 pub mod fmt;
+pub mod report;
 pub mod selfprof;
 pub mod sweep;
 pub mod traceview;

@@ -376,6 +376,25 @@ where
     }
 
     stats.wall_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+    // Persist the invocation summary into the run warehouse next to
+    // the cache directory (the dashboard's hit-rate history).
+    // Best-effort: a read-only checkout must not fail the sweep.
+    {
+        use crate::report::warehouse::{runs_dir_for, SweepLogEntry, Warehouse};
+        let entry = SweepLogEntry {
+            experiment: experiment.to_string(),
+            date: crate::selfprof::today_utc(),
+            scale: opts.scale.label().to_string(),
+            code: CODE_VERSION.to_string(),
+            jobs: opts.jobs as u64,
+            cells: (stats.grid - stats.filtered_out) as u64,
+            computed: stats.computed as u64,
+            cached: stats.cached as u64,
+            failed: stats.failed as u64,
+            wall_ms: stats.wall_ms,
+        };
+        let _ = Warehouse::open(runs_dir_for(&opts.cache_dir)).append_sweep_log(&entry);
+    }
     if opts.json {
         // Machine-readable bookkeeping. Stays on stderr: `--json` row
         // output owns stdout and must remain byte-identical run to run.

@@ -959,6 +959,9 @@ const TID_MISS_B: u32 = 5;
 const TID_CLASS: u32 = 6;
 const TID_CONTROL: u32 = 7;
 const TID_RUNAHEAD: u32 = 8;
+const TID_FRONTEND: u32 = 9;
+const TID_CQ: u32 = 10;
+const TID_BEXEC: u32 = 11;
 
 /// Converts a trace to Chrome trace-event JSON (the format Perfetto and
 /// `chrome://tracing` load). One simulated cycle maps to 1 µs of trace
@@ -972,9 +975,14 @@ const TID_RUNAHEAD: u32 = 8;
 /// 6. the cycle-class timeline,
 /// 7. control events (flushes, redirects),
 /// 8. runahead episodes,
+/// 9. front-end residency (fetch until the A-pipe executes or defers),
+/// 10. coupling-queue residency (enqueue until merge),
+/// 11. B-pipe execution of deferred instructions,
 ///
 /// plus counter tracks for coupling-queue depth and MSHR occupancy
-/// (emitted on change).
+/// (emitted on change). Instructions whose full lifecycle was traced
+/// additionally get a flow arrow (`ph` `s`/`t`/`f`, keyed by sequence
+/// number) linking their front-end, queue, and in-flight slices.
 #[must_use]
 pub fn chrome_trace(events: &[TraceEvent]) -> String {
     let end = end_cycle(events);
@@ -996,6 +1004,9 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
         (TID_CLASS, "cycle class"),
         (TID_CONTROL, "control"),
         (TID_RUNAHEAD, "runahead"),
+        (TID_FRONTEND, "front-end (fetch to A)"),
+        (TID_CQ, "coupling-queue residency"),
+        (TID_BEXEC, "B-pipe execute"),
     ] {
         push(
             &mut out,
@@ -1007,6 +1018,12 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
         );
     }
     let mut dispatched: HashMap<u64, (u64, usize, bool)> = HashMap::new();
+    let mut fetched: HashMap<u64, u64> = HashMap::new();
+    let mut enqueued: HashMap<u64, (u64, u32)> = HashMap::new();
+    // Per-seq flow-arrow anchors (front-end slice ts, queue slice ts),
+    // resolved at retire so every emitted arrow is complete — squashes
+    // and partial traces never leave a dangling flow record.
+    let mut anchors: HashMap<u64, (Option<u64>, Option<u64>)> = HashMap::new();
     let mut ra_entered: Option<(u64, usize)> = None;
     let mut last_sample: Option<(u32, u32)> = None;
     for e in events {
@@ -1029,6 +1046,36 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                         (cycle - start).max(1)
                     ),
                 );
+                fetched.remove(&seq);
+                enqueued.remove(&seq);
+                if let Some((Some(fe_ts), cq_ts)) = anchors.remove(&seq) {
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"ph\":\"s\",\"cat\":\"lifecycle\",\"name\":\"seq\",\
+                             \"id\":{seq},\"pid\":1,\"tid\":{TID_FRONTEND},\"ts\":{fe_ts}}}"
+                        ),
+                    );
+                    if let Some(cq_ts) = cq_ts {
+                        push(
+                            &mut out,
+                            &mut first,
+                            format!(
+                                "{{\"ph\":\"t\",\"cat\":\"lifecycle\",\"name\":\"seq\",\
+                                 \"id\":{seq},\"pid\":1,\"tid\":{TID_CQ},\"ts\":{cq_ts}}}"
+                            ),
+                        );
+                    }
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"lifecycle\",\"name\":\"seq\",\
+                             \"id\":{seq},\"pid\":1,\"tid\":{TID_INFLIGHT},\"ts\":{start}}}"
+                        ),
+                    );
+                }
             }
             TraceEvent::GroupDispatch { cycle, pipe, head_seq, len } => {
                 let tid = if pipe == Pipe::A { TID_A_GROUPS } else { TID_B_GROUPS };
@@ -1116,16 +1163,74 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                 // A squashed flight never retires: drop its pending
                 // dispatch so the in-flight track stays one-slice-per-retire.
                 dispatched.remove(&seq);
+                fetched.remove(&seq);
+                enqueued.remove(&seq);
+                anchors.remove(&seq);
+            }
+            TraceEvent::Fetch { cycle, seq, .. } => {
+                fetched.insert(seq, cycle);
+            }
+            TraceEvent::AExec { cycle, seq, pc, ready_at } => {
+                if let Some(fetch) = fetched.remove(&seq) {
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"ph\":\"X\",\"pid\":1,\"tid\":{TID_FRONTEND},\"ts\":{fetch},\
+                             \"dur\":{},\"name\":\"pc{pc}\",\"args\":{{\"seq\":{seq},\
+                             \"outcome\":\"a-exec\",\"ready_at\":{ready_at}}}}}",
+                            (cycle - fetch).max(1)
+                        ),
+                    );
+                    anchors.entry(seq).or_default().0 = Some(fetch);
+                }
+            }
+            TraceEvent::Defer { cycle, seq, pc } => {
+                if let Some(fetch) = fetched.remove(&seq) {
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"ph\":\"X\",\"pid\":1,\"tid\":{TID_FRONTEND},\"ts\":{fetch},\
+                             \"dur\":{},\"name\":\"pc{pc}\",\"args\":{{\"seq\":{seq},\
+                             \"outcome\":\"defer\"}}}}",
+                            (cycle - fetch).max(1)
+                        ),
+                    );
+                    anchors.entry(seq).or_default().0 = Some(fetch);
+                }
+            }
+            TraceEvent::CqEnqueue { cycle, seq, depth, .. } => {
+                enqueued.insert(seq, (cycle, depth));
+            }
+            TraceEvent::CqDequeue { cycle, seq, pc, resident } => {
+                if let Some((enq, depth)) = enqueued.remove(&seq) {
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"ph\":\"X\",\"pid\":1,\"tid\":{TID_CQ},\"ts\":{enq},\
+                             \"dur\":{},\"name\":\"pc{pc}\",\"args\":{{\"seq\":{seq},\
+                             \"depth\":{depth},\"resident\":{resident}}}}}",
+                            (cycle - enq).max(1)
+                        ),
+                    );
+                    anchors.entry(seq).or_default().1 = Some(enq);
+                }
+            }
+            TraceEvent::BExec { cycle, seq, pc } => {
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{TID_BEXEC},\"ts\":{cycle},\
+                         \"dur\":1,\"name\":\"pc{pc}\",\"args\":{{\"seq\":{seq}}}}}"
+                    ),
+                );
             }
             TraceEvent::ClassTransition { .. }
             | TraceEvent::CauseTransition { .. }
-            | TraceEvent::MissEnd { .. }
-            | TraceEvent::Fetch { .. }
-            | TraceEvent::AExec { .. }
-            | TraceEvent::Defer { .. }
-            | TraceEvent::CqEnqueue { .. }
-            | TraceEvent::CqDequeue { .. }
-            | TraceEvent::BExec { .. } => {}
+            | TraceEvent::MissEnd { .. } => {}
         }
     }
     if let Some((entered, pc)) = ra_entered {
@@ -1358,13 +1463,13 @@ mod tests {
         let v: Value = serde_json::from_str(&json).expect("chrome export must parse as JSON");
         let list = v.get("traceEvents").expect("traceEvents key");
         let Value::Array(items) = list else { panic!("traceEvents must be an array") };
-        // 8 metadata records + at least one slice per retired instruction.
-        assert!(items.len() as u64 > 8 + report.retired);
+        // 11 metadata records + at least one slice per retired instruction.
+        assert!(items.len() as u64 > 11 + report.retired);
         let mut saw_inflight = 0u64;
         let mut saw_class = 0u64;
         for item in items {
             let ph = item.get("ph").and_then(Value::as_str).expect("ph");
-            assert!(matches!(ph, "M" | "X" | "i" | "C"), "unexpected phase {ph}");
+            assert!(matches!(ph, "M" | "X" | "i" | "C" | "s" | "t" | "f"), "unexpected phase {ph}");
             if ph == "X" {
                 let tid = item.get("tid").and_then(Value::as_u64).expect("tid");
                 if tid == u64::from(TID_INFLIGHT) {
@@ -1377,6 +1482,54 @@ mod tests {
         }
         assert_eq!(saw_inflight, report.retired, "one in-flight slice per retire");
         assert_eq!(saw_class as usize, class_intervals(&events).len());
+    }
+
+    #[test]
+    fn chrome_export_has_lifecycle_tracks_and_balanced_flows() {
+        let (report, bytes) = traced_jsonl();
+        let events = load_events(BufReader::new(bytes.as_slice())).unwrap();
+        let json = chrome_trace(&events);
+        let v: Value = serde_json::from_str(&json).expect("chrome export must parse as JSON");
+        let Some(Value::Array(items)) = v.get("traceEvents") else { panic!("traceEvents") };
+        let (mut frontend, mut cq, mut bexec) = (0u64, 0u64, 0u64);
+        let (mut s, mut t, mut f) = (0u64, 0u64, 0u64);
+        for item in items {
+            let ph = item.get("ph").and_then(Value::as_str).expect("ph");
+            let tid = item.get("tid").and_then(Value::as_u64).unwrap_or(0);
+            match (ph, tid as u32) {
+                ("X", TID_FRONTEND) => frontend += 1,
+                ("X", TID_CQ) => cq += 1,
+                ("X", TID_BEXEC) => bexec += 1,
+                ("s", _) => s += 1,
+                ("t", _) => t += 1,
+                ("f", _) => f += 1,
+                _ => {}
+            }
+        }
+        // Every retired instruction of a fully traced two-pass run
+        // passed through the coupling queue and carries a complete
+        // flow arrow; the B-exec track only holds deferred work.
+        assert_eq!(cq, report.retired, "one queue-residency slice per retire");
+        assert_eq!(s, report.retired, "one flow start per retire");
+        assert_eq!(s, f, "flow starts and finishes must pair up");
+        assert!(t <= s, "flow steps need a matching start");
+        assert!(frontend >= s, "front-end slices cover at least the retired flights");
+        assert!(bexec > 0 && bexec < report.retired, "B-exec covers only deferred work");
+        let lifecycle_events = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Fetch { .. }
+                        | TraceEvent::AExec { .. }
+                        | TraceEvent::Defer { .. }
+                        | TraceEvent::CqEnqueue { .. }
+                        | TraceEvent::CqDequeue { .. }
+                        | TraceEvent::BExec { .. }
+                )
+            })
+            .count();
+        assert!(lifecycle_events > 0, "trace must carry lifecycle events");
     }
 
     #[test]

@@ -43,7 +43,9 @@ pub use config::{
 pub use metrics::{
     CounterEntry, Histogram, HistogramEntry, MetricSource, MetricsBuilder, MetricsSnapshot,
 };
-pub use report::{BranchStats, MemAccessStats, ModelKind, Pipe, SimReport, TwoPassStats};
+pub use report::{
+    BranchStats, MemAccessStats, ModelKind, Pipe, SimReport, TwoPassStats, REPORT_SCHEMA_VERSION,
+};
 pub use runahead::{Runahead, RunaheadStats};
 pub use sink::{parse_jsonl_line, JsonlSink, RingSink, SinkHandle, TraceSink};
 pub use trace::{FlushKind, Trace, TraceEvent};

@@ -1,10 +1,16 @@
 //! Simulation reports: everything the paper's figures are derived from.
 
-use crate::accounting::{CauseBreakdown, CycleBreakdown, StallProfile};
+use crate::accounting::{CauseBreakdown, CycleBreakdown, CycleClass, StallCause, StallProfile};
 use crate::metrics::{Histogram, MetricSource, MetricsBuilder, MetricsSnapshot};
 use ff_mem::{AlatStats, HierarchyStats, MemLevel, MshrStats, StoreBufferStats};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Version of the serialized [`SimReport`] surface. Stored alongside
+/// archived reports (the `ff-bench` run warehouse, future `ff-serve`
+/// clients); bump whenever a field is added, removed, or changes
+/// meaning so readers can reject layouts they don't understand.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
 
 /// Which back-end executed an instruction or initiated an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -246,6 +252,42 @@ impl SimReport {
             0.0
         } else {
             self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cycles per retired instruction — the total height of the CPI
+    /// stack (0 when nothing retired).
+    #[must_use]
+    pub fn cpi(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.retired as f64
+        }
+    }
+
+    /// CPI contribution of one cycle class: cycles charged to `class`
+    /// per retired instruction.
+    #[must_use]
+    pub fn class_cpi(&self, class: CycleClass) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.breakdown[class] as f64 / self.retired as f64
+        }
+    }
+
+    /// CPI contribution of one refined stall cause: cycles charged to
+    /// `cause` per retired instruction. Cause CPIs tile their class CPI
+    /// the same way [`CauseBreakdown::collapse`] tiles the class
+    /// breakdown, so run-vs-run CPI diffs can localize a regression to
+    /// a single cause.
+    #[must_use]
+    pub fn cause_cpi(&self, cause: StallCause) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.breakdown2[cause] as f64 / self.retired as f64
         }
     }
 

@@ -143,6 +143,21 @@ impl HierarchyStats {
     pub fn total_stores(&self) -> u64 {
         self.store_hits.iter().sum()
     }
+
+    /// Fraction of all loads serviced at `level` (`None` when no loads
+    /// were routed).
+    #[must_use]
+    pub fn load_level_fraction(&self, level: MemLevel) -> Option<f64> {
+        let total = self.total_loads();
+        (total > 0).then(|| self.load_hits[level.index()] as f64 / total as f64)
+    }
+
+    /// L1 data-cache load hit rate (`None` when no loads were routed) —
+    /// the headline cache metric surfaced by run reports.
+    #[must_use]
+    pub fn l1_load_hit_rate(&self) -> Option<f64> {
+        self.load_level_fraction(MemLevel::L1)
+    }
 }
 
 /// A three-level inclusive data-cache hierarchy (tag state only).
