@@ -366,10 +366,12 @@ fn cmd_html(args: &Args) -> Result<ExitCode, String> {
             perf.push((stem, snap));
         }
     }
+    let bounds = ff_bench::report::compute_bounds_rows();
     let data = DashboardData {
         records: &records,
         sweep_log: &sweep_log,
         perf: &perf,
+        bounds: &bounds,
         generated_at: args.opt("--generated-at"),
     };
     let html = render_dashboard(&data);

@@ -29,9 +29,74 @@ pub struct DashboardData<'a> {
     /// Perf snapshots as `(file stem, snapshot)`, e.g. from
     /// `perf/BENCH_*.json` and/or warehouse perf records.
     pub perf: &'a [(String, PerfSnapshot)],
+    /// Static cycle lower bounds vs. measured cycles per kernel, e.g.
+    /// from [`compute_bounds_rows`]. Empty renders a placeholder.
+    pub bounds: &'a [BoundsRow],
     /// Rendered verbatim in the header; pass a fixed string for
     /// byte-reproducible output. Never derived from the clock.
     pub generated_at: Option<&'a str>,
+}
+
+/// One kernel's static lower bound beside its measured cycle counts,
+/// for the bounds panel.
+#[derive(Debug, Clone)]
+pub struct BoundsRow {
+    /// Kernel name, e.g. `"mcf-like"`.
+    pub kernel: String,
+    /// Dynamic instructions the bound reasons about.
+    pub retired: u64,
+    /// All-hit dependence-height bound.
+    pub dep_height: u64,
+    /// Issue-width / FU-slot resource bound.
+    pub resource_bound: u64,
+    /// `max(dep_height, resource_bound)` — the sound floor.
+    pub lower_bound: u64,
+    /// `(model label, measured cycles)` in fixed model order.
+    pub measured: Vec<(&'static str, u64)>,
+}
+
+/// Computes [`BoundsRow`]s for the whole Table 2 suite at `Scale::Tiny`
+/// under the Table 1 machine: the `ff-verify` static lower bound plus a
+/// fresh run of all four pipeline models. Deterministic.
+#[must_use]
+pub fn compute_bounds_rows() -> Vec<BoundsRow> {
+    let cfg = ff_core::MachineConfig::paper_table1();
+    ff_workloads::paper_benchmarks(ff_workloads::Scale::Tiny)
+        .iter()
+        .map(|w| {
+            let replay = w.budget.saturating_mul(cfg.issue_width as u64);
+            let b = ff_verify::cycle_bounds(&w.program, &w.memory, &cfg, replay);
+            let mut measured: Vec<(&'static str, u64)> = Vec::new();
+            measured.push((
+                "Base",
+                ff_core::Baseline::new(&w.program, w.memory.clone(), cfg.clone())
+                    .run(w.budget)
+                    .cycles,
+            ));
+            for (label, regroup) in [("2P", false), ("2Pre", true)] {
+                let mut c = cfg.clone();
+                c.two_pass.regroup = regroup;
+                measured.push((
+                    label,
+                    ff_core::TwoPass::new(&w.program, w.memory.clone(), c).run(w.budget).cycles,
+                ));
+            }
+            measured.push((
+                "Ra",
+                ff_core::Runahead::new(&w.program, w.memory.clone(), cfg.clone())
+                    .run(w.budget)
+                    .cycles,
+            ));
+            BoundsRow {
+                kernel: w.name.to_string(),
+                retired: b.retired,
+                dep_height: b.dep_height_all_hit,
+                resource_bound: b.resource_bound(),
+                lower_bound: b.lower_bound(),
+                measured,
+            }
+        })
+        .collect()
 }
 
 const BAR_W: f64 = 420.0;
@@ -638,6 +703,48 @@ fn hitrate_panel(out: &mut String, log: &[SweepLogEntry]) {
 
 // ---- inventory ----------------------------------------------------------
 
+fn bounds_panel(out: &mut String, rows: &[BoundsRow]) {
+    out.push_str("<section><h2>Static cycle lower bounds vs. measured</h2>");
+    if rows.is_empty() {
+        out.push_str(
+            "<p class=\"note\">No bounds computed — pass \
+             <code>compute_bounds_rows()</code> to the renderer.</p></section>",
+        );
+        return;
+    }
+    out.push_str(
+        "<p class=\"note\">Per-kernel floor from <code>ff-verify</code>: the all-hit \
+         dependence height and the issue/FU resource pressure. Every measured run must \
+         sit on or above its bound; the gap is schedule overhead.</p>",
+    );
+    out.push_str(
+        "<table><thead><tr><th>kernel</th><th>retired</th><th>dep height</th>\
+         <th>resource</th><th>bound</th>",
+    );
+    let models: Vec<&'static str> = rows[0].measured.iter().map(|(m, _)| *m).collect();
+    for m in &models {
+        let _ = write!(out, "<th>{m}</th>");
+    }
+    out.push_str("</tr></thead><tbody>");
+    for row in rows {
+        let _ = write!(
+            out,
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>",
+            esc(&row.kernel),
+            row.retired,
+            row.dep_height,
+            row.resource_bound,
+            row.lower_bound
+        );
+        for (_, cycles) in &row.measured {
+            let flag = if *cycles < row.lower_bound { " **unsound**" } else { "" };
+            let _ = write!(out, "<td>{cycles}{flag}</td>");
+        }
+        out.push_str("</tr>");
+    }
+    out.push_str("</tbody></table></section>");
+}
+
 fn inventory_panel(out: &mut String, records: &[RunRecord]) {
     out.push_str("<section><h2>Warehouse inventory</h2>");
     if records.is_empty() {
@@ -750,6 +857,7 @@ pub fn render_dashboard(data: &DashboardData) -> String {
     let mut perf: Vec<(String, PerfSnapshot)> = data.perf.to_vec();
     perf.sort_by(|a, b| a.0.cmp(&b.0));
     perf_panel(&mut out, &perf);
+    bounds_panel(&mut out, data.bounds);
     hitrate_panel(&mut out, data.sweep_log);
     inventory_panel(&mut out, &owned);
     let _ = out.write_str("</body>\n</html>\n");
@@ -775,13 +883,19 @@ mod tests {
 
     #[test]
     fn empty_dashboard_renders_every_panel_placeholder() {
-        let data =
-            DashboardData { records: &[], sweep_log: &[], perf: &[], generated_at: Some("t0") };
+        let data = DashboardData {
+            records: &[],
+            sweep_log: &[],
+            perf: &[],
+            bounds: &[],
+            generated_at: Some("t0"),
+        };
         let html = render_dashboard(&data);
         assert!(html.contains("<!DOCTYPE html>"));
         assert!(html.contains("generated t0"));
         assert!(html.contains("No golden runs captured"));
         assert!(html.contains("No perf snapshots"));
+        assert!(html.contains("No bounds computed"));
         assert!(html.contains("No sweep invocations logged"));
         assert!(html.contains("The warehouse is empty"));
         // Self-contained: no external fetches of any kind.

@@ -15,7 +15,7 @@ pub mod html;
 pub mod query;
 pub mod warehouse;
 
-pub use html::{render_dashboard, DashboardData};
+pub use html::{compute_bounds_rows, render_dashboard, BoundsRow, DashboardData};
 pub use query::{
     diff_reports, mark_frontier, sweep_points, CauseDelta, DiffReport, ParetoPoint, CPI_NOISE_FLOOR,
 };

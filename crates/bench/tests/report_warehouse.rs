@@ -11,9 +11,9 @@
 
 use ff_bench::experiments;
 use ff_bench::report::{
-    content_hash, diff_reports, golden_record, mark_frontier, perf_record, render_dashboard,
-    runs_dir_for, sweep_points, sweep_record, DashboardData, ParetoPoint, RunRecord, SweepLogEntry,
-    Warehouse, CPI_NOISE_FLOOR, KIND_GOLDEN,
+    compute_bounds_rows, content_hash, diff_reports, golden_record, mark_frontier, perf_record,
+    render_dashboard, runs_dir_for, sweep_points, sweep_record, DashboardData, ParetoPoint,
+    RunRecord, SweepLogEntry, Warehouse, CPI_NOISE_FLOOR, KIND_GOLDEN,
 };
 use ff_bench::selfprof::{HostInfo, PerfSnapshot, Section};
 use ff_bench::sweep::{run_sweep, Cell, SweepOpts};
@@ -232,10 +232,12 @@ fn dashboard_is_deterministic_and_self_contained() {
     let (wh, perf) = dashboard_fixture(&dir);
     let records = wh.list().unwrap();
     let sweep_log = wh.sweep_log();
+    let bounds = compute_bounds_rows();
     let data = DashboardData {
         records: &records,
         sweep_log: &sweep_log,
         perf: &perf,
+        bounds: &bounds,
         generated_at: Some("fixture"),
     };
     let first = render_dashboard(&data);
@@ -260,10 +262,12 @@ fn dashboard_matches_the_golden_pin() {
     let (wh, perf) = dashboard_fixture(&dir);
     let records = wh.list().unwrap();
     let sweep_log = wh.sweep_log();
+    let bounds = compute_bounds_rows();
     let data = DashboardData {
         records: &records,
         sweep_log: &sweep_log,
         perf: &perf,
+        bounds: &bounds,
         generated_at: Some("golden-fixture"),
     };
     let html = render_dashboard(&data);

@@ -47,6 +47,22 @@ impl OpLatencies {
     pub fn defaults() -> Self {
         OpLatencies { int: 1, mul: 3, fp_arith: 4, fp_div: 16 }
     }
+
+    /// Cycles for one latency class. Loads have no fixed latency — the
+    /// hierarchy decides — so the caller supplies `load_latency` (the
+    /// engines pass 0 and overwrite per access; the static analyzer
+    /// passes an all-hit or all-miss assumption).
+    #[must_use]
+    pub fn for_class(&self, lc: ff_isa::LatencyClass, load_latency: u64) -> u64 {
+        use ff_isa::LatencyClass;
+        match lc {
+            LatencyClass::Int | LatencyClass::Store | LatencyClass::Branch => self.int,
+            LatencyClass::Mul => self.mul,
+            LatencyClass::FpArith => self.fp_arith,
+            LatencyClass::FpDiv => self.fp_div,
+            LatencyClass::Load => load_latency,
+        }
+    }
 }
 
 /// Latency of the B-pipe → A-pipe committed-result feedback path
@@ -204,6 +220,24 @@ impl MachineConfig {
     #[must_use]
     pub fn bdet_penalty(&self) -> u64 {
         self.adet_penalty() + self.two_pass.bdet_extra_penalty
+    }
+
+    /// Load latency under the *all-hit* assumption: every access hits
+    /// L1. No load completes faster on this machine (MSHR merges are
+    /// clamped to their own hierarchy latency), so dependence heights
+    /// computed with this value lower-bound every model.
+    #[must_use]
+    pub fn all_hit_load_latency(&self) -> u64 {
+        self.hierarchy.l1_latency
+    }
+
+    /// Load latency under the *all-miss* assumption: every access goes
+    /// to main memory. This is the opposite extreme, not a bound on the
+    /// real machine (loads may hit); the analyzer reports it to bracket
+    /// where a schedule can land.
+    #[must_use]
+    pub fn all_miss_load_latency(&self) -> u64 {
+        self.hierarchy.mem_latency
     }
 }
 

@@ -10,7 +10,7 @@
 
 use crate::accounting::StallCause;
 use crate::config::OpLatencies;
-use ff_isa::{FuClass, Instruction, LatencyClass, Program, RegList};
+use ff_isa::{FuClass, Instruction, Program, RegList};
 
 /// Everything the engines need to know about one static instruction.
 #[derive(Debug, Clone, Copy)]
@@ -60,13 +60,7 @@ impl DecodedProgram {
             .iter()
             .map(|insn| {
                 let f = insn.facts();
-                let latency = match f.lc {
-                    LatencyClass::Int | LatencyClass::Store | LatencyClass::Branch => lat.int,
-                    LatencyClass::Mul => lat.mul,
-                    LatencyClass::FpArith => lat.fp_arith,
-                    LatencyClass::FpDiv => lat.fp_div,
-                    LatencyClass::Load => 0,
-                };
+                let latency = lat.for_class(f.lc, 0);
                 DecodedInsn {
                     insn: *insn,
                     srcs: f.srcs,

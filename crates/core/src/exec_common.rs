@@ -13,16 +13,9 @@ use ff_isa::{FuClass, LatencyClass, Opcode};
 /// Panics (debug) if called with a load.
 #[must_use]
 pub fn op_latency(op: &Opcode, lat: &OpLatencies) -> u64 {
-    match op.latency_class() {
-        LatencyClass::Int | LatencyClass::Store | LatencyClass::Branch => lat.int,
-        LatencyClass::Mul => lat.mul,
-        LatencyClass::FpArith => lat.fp_arith,
-        LatencyClass::FpDiv => lat.fp_div,
-        LatencyClass::Load => {
-            debug_assert!(false, "loads have no fixed latency");
-            lat.int
-        }
-    }
+    let lc = op.latency_class();
+    debug_assert!(lc != LatencyClass::Load, "loads have no fixed latency");
+    lat.for_class(lc, lat.int)
 }
 
 /// Per-cycle functional-unit slot usage tracker.

@@ -128,6 +128,33 @@ pub enum FuClass {
     Branch,
 }
 
+impl FuClass {
+    /// Every class, in [`FuClass::index`] order.
+    pub const ALL: [FuClass; 4] = [FuClass::Alu, FuClass::Mem, FuClass::Fp, FuClass::Branch];
+
+    /// Dense index (0..4) for per-class count arrays.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            FuClass::Alu => 0,
+            FuClass::Mem => 1,
+            FuClass::Fp => 2,
+            FuClass::Branch => 3,
+        }
+    }
+
+    /// Human-readable slot label ("ALU", "memory", "FP", "branch").
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            FuClass::Alu => "ALU",
+            FuClass::Mem => "memory",
+            FuClass::Fp => "FP",
+            FuClass::Branch => "branch",
+        }
+    }
+}
+
 /// Coarse latency class of an operation; the pipeline configuration maps
 /// each class to a cycle count.
 ///

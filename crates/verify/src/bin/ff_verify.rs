@@ -1,10 +1,14 @@
-//! `ff_verify` — static EPIC legality checking and differential auditing.
+//! `ff_verify` — static EPIC legality checking, performance-bound
+//! analysis, and differential auditing.
 //!
 //! ```text
-//! ff_verify lint <kernel> [--scale tiny|test|ref] [--strict] [--json]
-//! ff_verify all           [--scale tiny|test|ref] [--strict] [--json]
-//! ff_verify random <N>    [--strict] [--json]
-//! ff_verify oracle <N>    [--budget B] [--json]
+//! ff_verify lint <kernel>   [--scale tiny|test|ref] [--strict] [--json]
+//! ff_verify all             [--scale tiny|test|ref] [--strict] [--json]
+//! ff_verify random <N>      [--strict] [--json]
+//! ff_verify oracle <N>      [--budget B] [--json]
+//! ff_verify bounds [kernel] [--scale tiny|test|ref] [--json]
+//! ff_verify slack <kernel>  [--scale tiny|test|ref] [--json]
+//! ff_verify explain <kernel> [--scale tiny|test|ref] [--json]
 //! ```
 //!
 //! `lint` runs the static checker over one paper kernel (by kernel name
@@ -13,22 +17,40 @@
 //! generator seeds; `oracle` runs the full differential oracle
 //! (interpreter vs. all pipeline models) over `N` random seeds.
 //!
+//! `bounds` computes the static cycle lower bound (dependence height
+//! and resource pressure) for one kernel — or, with no kernel, the
+//! whole suite — runs all four pipeline models, and reports the
+//! measured-minus-bound schedule overhead; it fails if any bound
+//! exceeds a measured cycle count (a soundness violation). `slack`
+//! prints the per-instruction static schedule with earliest/latest
+//! start and slack; `explain` annotates the static critical path.
+//!
+//! All `--json` output is wrapped in `{"schema": N, "targets": [...]}`
+//! where `N` is [`ff_verify::ANALYSIS_SCHEMA_VERSION`].
+//!
 //! Exit status is nonzero if any *error* diagnostic fires, any oracle
-//! divergence is found, or — under `--strict` — any diagnostic at all.
+//! divergence is found, any bound exceeds a measured run, or — under
+//! `--strict` — any diagnostic at all.
 
-use ff_core::MachineConfig;
+use ff_core::{Baseline, MachineConfig, Runahead, TwoPass};
 use ff_isa::Program;
-use ff_verify::{analyze_program, differential_oracle, AnalysisReport, Severity};
+use ff_verify::{
+    analyze_program, cycle_bounds, differential_oracle, AnalysisReport, CycleBounds, ScheduleGraph,
+    Severity, ANALYSIS_SCHEMA_VERSION,
+};
 use ff_workloads::random::{random_program, GeneratorConfig};
-use ff_workloads::Scale;
+use ff_workloads::{Scale, Workload};
 use serde::Serialize;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
-  ff_verify lint <kernel> [--scale tiny|test|ref] [--strict] [--json]
-  ff_verify all           [--scale tiny|test|ref] [--strict] [--json]
-  ff_verify random <N>    [--strict] [--json]
-  ff_verify oracle <N>    [--budget B] [--json]";
+  ff_verify lint <kernel>    [--scale tiny|test|ref] [--strict] [--json]
+  ff_verify all              [--scale tiny|test|ref] [--strict] [--json]
+  ff_verify random <N>       [--strict] [--json]
+  ff_verify oracle <N>       [--budget B] [--json]
+  ff_verify bounds [kernel]  [--scale tiny|test|ref] [--json]
+  ff_verify slack <kernel>   [--scale tiny|test|ref] [--json]
+  ff_verify explain <kernel> [--scale tiny|test|ref] [--json]";
 
 const ORACLE_BUDGET: u64 = 2_000_000;
 
@@ -39,6 +61,9 @@ fn main() -> ExitCode {
         Some("all") => all_cmd(&args[1..]),
         Some("random") => random_cmd(&args[1..]),
         Some("oracle") => oracle_cmd(&args[1..]),
+        Some("bounds") => bounds_cmd(&args[1..]),
+        Some("slack") => slack_cmd(&args[1..]),
+        Some("explain") => explain_cmd(&args[1..]),
         _ => Err(USAGE.to_string()),
     };
     match result {
@@ -80,6 +105,18 @@ fn take_scale(args: &mut Vec<String>) -> Result<Scale, String> {
         None => Ok(Scale::Tiny),
         Some(s) => Scale::parse(s).ok_or_else(|| format!("unknown scale `{s}`\n{USAGE}")),
     }
+}
+
+fn lookup(name: &str, scale: Scale) -> Result<Workload, String> {
+    ff_workloads::benchmark_by_name(name, scale)
+        .ok_or_else(|| format!("unknown benchmark `{name}` (try e.g. `mcf-like` or `181.mcf`)"))
+}
+
+/// Prints `targets` wrapped in the versioned JSON envelope every
+/// `--json` mode shares: `{"schema": N, "targets": [...]}`.
+fn print_json<T: Serialize>(targets: &T) {
+    let e = serde_json::json!({ "schema": ANALYSIS_SCHEMA_VERSION, "targets": targets });
+    println!("{}", serde_json::to_string_pretty(&e).expect("serializable report"));
 }
 
 /// One linted program in `--json` output.
@@ -166,13 +203,12 @@ fn lint_cmd(args: &[String]) -> Result<bool, String> {
     let [name] = args.as_slice() else {
         return Err(format!("lint takes one kernel name\n{USAGE}"));
     };
-    let w = ff_workloads::benchmark_by_name(name, scale)
-        .ok_or_else(|| format!("unknown benchmark `{name}` (try e.g. `mcf-like` or `181.mcf`)"))?;
+    let w = lookup(name, scale)?;
     let cfg = MachineConfig::paper_table1();
     let mut sink = json.then(Vec::new);
     let ok = lint_one(w.name, &w.program, &cfg, strict, sink.as_mut());
     if let Some(sink) = sink {
-        println!("{}", serde_json::to_string_pretty(&sink).expect("serializable report"));
+        print_json(&sink);
     }
     Ok(ok)
 }
@@ -192,7 +228,7 @@ fn all_cmd(args: &[String]) -> Result<bool, String> {
         ok &= lint_one(w.name, &w.program, &cfg, strict, sink.as_mut());
     }
     if let Some(sink) = sink {
-        println!("{}", serde_json::to_string_pretty(&sink).expect("serializable report"));
+        print_json(&sink);
     } else if ok {
         println!("all kernels pass");
     }
@@ -216,7 +252,7 @@ fn random_cmd(args: &[String]) -> Result<bool, String> {
         ok &= lint_one(&format!("random-{seed}"), &program, &cfg, strict, sink.as_mut());
     }
     if let Some(sink) = sink {
-        println!("{}", serde_json::to_string_pretty(&sink).expect("serializable report"));
+        print_json(&sink);
     } else if ok {
         println!("{n} random programs pass");
     }
@@ -267,9 +303,271 @@ fn oracle_cmd(args: &[String]) -> Result<bool, String> {
         }
     }
     if json {
-        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable rows"));
+        print_json(&rows);
     } else if ok {
         println!("{n} seeds match across all models");
     }
     Ok(ok)
+}
+
+/// Measured cycle counts for every pipeline model on one workload.
+fn run_models(w: &Workload, cfg: &MachineConfig) -> Vec<(&'static str, u64)> {
+    let mut out = Vec::new();
+    out.push((
+        "Base",
+        Baseline::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget).cycles,
+    ));
+    for (label, regroup) in [("2P", false), ("2Pre", true)] {
+        let mut c = cfg.clone();
+        c.two_pass.regroup = regroup;
+        out.push((label, TwoPass::new(&w.program, w.memory.clone(), c).run(w.budget).cycles));
+    }
+    out.push(("Ra", Runahead::new(&w.program, w.memory.clone(), cfg.clone()).run(w.budget).cycles));
+    out
+}
+
+/// Interpreter replay budget: the workload's dynamic-instruction budget
+/// with `issue_width` headroom, so the replay always covers the full
+/// stream the models retire.
+fn replay_budget(w: &Workload, cfg: &MachineConfig) -> u64 {
+    w.budget.saturating_mul(cfg.issue_width.max(1) as u64)
+}
+
+#[derive(Debug, Serialize)]
+struct MeasuredJson {
+    model: String,
+    cycles: u64,
+    /// `cycles - lower_bound`: cycles the model spends above the static
+    /// floor (schedule overhead).
+    overhead: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct BoundsJson {
+    target: String,
+    bounds: CycleBounds,
+    resource_bound: u64,
+    lower_bound: u64,
+    measured: Vec<MeasuredJson>,
+    /// Whether `lower_bound <= cycles` held for every model.
+    sound: bool,
+}
+
+fn bounds_row(w: &Workload, cfg: &MachineConfig) -> BoundsJson {
+    let b = cycle_bounds(&w.program, &w.memory, cfg, replay_budget(w, cfg));
+    let measured: Vec<MeasuredJson> = run_models(w, cfg)
+        .into_iter()
+        .map(|(model, cycles)| MeasuredJson {
+            model: model.to_string(),
+            cycles,
+            overhead: cycles.saturating_sub(b.lower_bound()),
+        })
+        .collect();
+    let sound = b.halted && measured.iter().all(|m| b.lower_bound() <= m.cycles);
+    BoundsJson {
+        target: w.name.to_string(),
+        bounds: b,
+        resource_bound: b.resource_bound(),
+        lower_bound: b.lower_bound(),
+        measured,
+        sound,
+    }
+}
+
+fn print_bounds_row(row: &BoundsJson) {
+    let b = &row.bounds;
+    let measured: Vec<String> = row
+        .measured
+        .iter()
+        .map(|m| format!("{} {} (+{})", m.model, m.cycles, m.overhead))
+        .collect();
+    println!(
+        "{:12} retired {:6}  bound {:6} (dep {} / res {})  measured: {}{}",
+        row.target,
+        b.retired,
+        row.lower_bound,
+        b.dep_height_all_hit,
+        row.resource_bound,
+        measured.join("  "),
+        if row.sound { "" } else { "  ** BOUND VIOLATED **" }
+    );
+}
+
+fn bounds_cmd(args: &[String]) -> Result<bool, String> {
+    let mut args = args.to_vec();
+    let scale = take_scale(&mut args)?;
+    let json = take_flag(&mut args, "--json");
+    let workloads: Vec<Workload> = match args.as_slice() {
+        [] => ff_workloads::paper_benchmarks(scale),
+        [name] => vec![lookup(name, scale)?],
+        _ => return Err(format!("bounds takes at most one kernel name\n{USAGE}")),
+    };
+    let cfg = MachineConfig::paper_table1();
+    let rows: Vec<BoundsJson> = workloads.iter().map(|w| bounds_row(w, &cfg)).collect();
+    let ok = rows.iter().all(|r| r.sound);
+    if json {
+        print_json(&rows);
+    } else {
+        for row in &rows {
+            print_bounds_row(row);
+        }
+        if ok {
+            println!("all bounds hold (lower bound <= measured cycles for every model)");
+        }
+    }
+    Ok(ok)
+}
+
+#[derive(Debug, Serialize)]
+struct SlackRowJson {
+    pc: usize,
+    group: usize,
+    earliest: u64,
+    latest: u64,
+    slack: u64,
+    region_slack: u64,
+    insn: String,
+}
+
+#[derive(Debug, Serialize)]
+struct SlackJson {
+    target: String,
+    schedule_length: u64,
+    rows: Vec<SlackRowJson>,
+}
+
+fn slack_table(w: &Workload, cfg: &MachineConfig) -> SlackJson {
+    let graph = ScheduleGraph::of_program(&w.program, cfg);
+    let rows = w
+        .program
+        .iter()
+        .enumerate()
+        .map(|(pc, insn)| SlackRowJson {
+            pc,
+            group: graph.group_of(pc),
+            earliest: graph.earliest_start(pc),
+            latest: graph.latest_start(pc),
+            slack: graph.slack(pc),
+            region_slack: graph.region_slack(pc),
+            insn: insn.to_string(),
+        })
+        .collect();
+    SlackJson { target: w.name.to_string(), schedule_length: graph.schedule_length(), rows }
+}
+
+fn slack_cmd(args: &[String]) -> Result<bool, String> {
+    let mut args = args.to_vec();
+    let scale = take_scale(&mut args)?;
+    let json = take_flag(&mut args, "--json");
+    let [name] = args.as_slice() else {
+        return Err(format!("slack takes one kernel name\n{USAGE}"));
+    };
+    let w = lookup(name, scale)?;
+    let cfg = MachineConfig::paper_table1();
+    let table = slack_table(&w, &cfg);
+    if json {
+        print_json(&std::slice::from_ref(&table));
+    } else {
+        println!(
+            "{}: static schedule length {} cycle(s) ({} instructions, {} groups)",
+            table.target,
+            table.schedule_length,
+            w.program.len(),
+            w.program.group_count()
+        );
+        println!(
+            "{:>4} {:>5} {:>8} {:>6} {:>5} {:>6}  instruction",
+            "pc", "group", "earliest", "latest", "slack", "region"
+        );
+        for r in &table.rows {
+            let mark = if r.slack == 0 { "*" } else { " " };
+            println!(
+                "{:>4} {:>5} {:>8} {:>6} {:>4}{} {:>6}  {}",
+                r.pc, r.group, r.earliest, r.latest, r.slack, mark, r.region_slack, r.insn
+            );
+        }
+        println!("(* = zero slack: on the static critical path)");
+    }
+    Ok(true)
+}
+
+#[derive(Debug, Serialize)]
+struct CriticalJson {
+    pc: usize,
+    start: u64,
+    insn: String,
+}
+
+#[derive(Debug, Serialize)]
+struct ExplainJson {
+    target: String,
+    schedule_length: u64,
+    lower_bound: u64,
+    dep_height_all_hit: u64,
+    dep_height_all_miss: u64,
+    resource_bound: u64,
+    measured: Vec<MeasuredJson>,
+    critical_path: Vec<CriticalJson>,
+}
+
+fn explain_cmd(args: &[String]) -> Result<bool, String> {
+    let mut args = args.to_vec();
+    let scale = take_scale(&mut args)?;
+    let json = take_flag(&mut args, "--json");
+    let [name] = args.as_slice() else {
+        return Err(format!("explain takes one kernel name\n{USAGE}"));
+    };
+    let w = lookup(name, scale)?;
+    let cfg = MachineConfig::paper_table1();
+    let row = bounds_row(&w, &cfg);
+    let graph = ScheduleGraph::of_program(&w.program, &cfg);
+    let path: Vec<CriticalJson> = graph
+        .critical_path()
+        .into_iter()
+        .map(|s| CriticalJson {
+            pc: s.pc,
+            start: s.start,
+            insn: w.program.get(s.pc).map(ToString::to_string).unwrap_or_default(),
+        })
+        .collect();
+    let out = ExplainJson {
+        target: row.target.clone(),
+        schedule_length: graph.schedule_length(),
+        lower_bound: row.lower_bound,
+        dep_height_all_hit: row.bounds.dep_height_all_hit,
+        dep_height_all_miss: row.bounds.dep_height_all_miss,
+        resource_bound: row.resource_bound,
+        measured: row.measured,
+        critical_path: path,
+    };
+    if json {
+        print_json(&std::slice::from_ref(&out));
+    } else {
+        println!(
+            "{}: dynamic lower bound {} cycle(s) over {} retired",
+            out.target, out.lower_bound, row.bounds.retired
+        );
+        println!(
+            "  dependence height {} (all-hit) / {} (all-miss); resource bound {}",
+            out.dep_height_all_hit, out.dep_height_all_miss, out.resource_bound
+        );
+        for m in &out.measured {
+            println!(
+                "  measured {:5} {:6} cycle(s) = bound + {} schedule overhead",
+                format!("{}:", m.model),
+                m.cycles,
+                m.overhead
+            );
+        }
+        println!("  static straight-line schedule: {} cycle(s)", out.schedule_length);
+        if out.critical_path.is_empty() {
+            println!("  critical path: none (purely sequential schedule)");
+        } else {
+            println!("  static critical path (earliest start -> instruction):");
+            for s in &out.critical_path {
+                println!("    @{:>4}  {:4}: {}", s.start, s.pc, s.insn);
+            }
+        }
+    }
+    Ok(row.sound)
 }

@@ -9,6 +9,12 @@
 use ff_isa::Program;
 use std::fmt;
 
+/// Version of the JSON layouts `ff_verify` emits (`lint`/`all`/`random`
+/// target reports and the `bounds`/`slack`/`explain` analysis tables).
+/// Bumped on any breaking field change so downstream tooling can reject
+/// foreign layouts, mirroring `REPORT_SCHEMA_VERSION` in `ff-core`.
+pub const ANALYSIS_SCHEMA_VERSION: u32 = 1;
+
 /// How bad a finding is.
 ///
 /// * [`Severity::Error`] — the program violates EPIC legality (an
@@ -82,6 +88,16 @@ pub enum Check {
     FuOversubscribed,
     /// An issue group is wider than the machine's issue width.
     GroupTooWide,
+    /// A load's consumer is scheduled inside the load's latency shadow
+    /// (closer than even an L1 hit can deliver) while having enough
+    /// slack to move out of it — the statically checkable load-use
+    /// placement property of SSR (arXiv 1912.10663).
+    LoadUse,
+    /// A long serial chain of single-cycle same-FU-class operations
+    /// dominates the schedule; a fused/chained functional unit (arXiv
+    /// 2503.20609) or re-association would shorten the dependence
+    /// height.
+    ChainOpportunity,
 }
 
 impl Check {
@@ -101,6 +117,8 @@ impl Check {
             Check::Unreachable => "dataflow/unreachable",
             Check::FuOversubscribed => "resource/fu-oversubscribed",
             Check::GroupTooWide => "resource/width",
+            Check::LoadUse => "schedule/load-use",
+            Check::ChainOpportunity => "schedule/chain-opportunity",
         }
     }
 
@@ -118,7 +136,9 @@ impl Check {
             Check::UndefinedRead | Check::Unreachable | Check::FuOversubscribed => {
                 Severity::Warning
             }
-            Check::DeadWrite | Check::GroupTooWide => Severity::Info,
+            Check::DeadWrite | Check::GroupTooWide | Check::LoadUse | Check::ChainOpportunity => {
+                Severity::Info
+            }
         }
     }
 }

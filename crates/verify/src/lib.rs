@@ -14,9 +14,15 @@
 //! * [`oracle`] — a dynamic differential oracle running each program
 //!   through the golden interpreter and all pipeline models, demanding
 //!   bit-identical final state and identical retirement order.
+//! * [`analysis`] — a static performance analyzer on top of the same
+//!   dependence facts: sound per-kernel cycle lower bounds (dependence
+//!   height under all-hit/all-miss load assumptions, per-FU-class and
+//!   issue-width resource pressure), per-instruction slack, the static
+//!   critical path, and the schedule-quality lints built on them.
 //!
-//! The `ff_verify` CLI fronts both: it lints the ten paper kernels,
-//! random generator output, and runs the oracle over random seeds.
+//! The `ff_verify` CLI fronts all three: it lints the ten paper
+//! kernels, random generator output, runs the oracle over random
+//! seeds, and reports bounds/slack/critical paths per kernel.
 //!
 //! Building with the `audit` feature additionally enables `ff-core`'s
 //! per-cycle invariant checks (coupling-queue FIFO discipline, A-pipe
@@ -26,10 +32,15 @@
 #![warn(missing_debug_implementations)]
 #![deny(unsafe_code)]
 
+pub mod analysis;
 pub mod diag;
 pub mod oracle;
 pub mod static_check;
 
-pub use diag::{AnalysisReport, Check, Diagnostic, Severity};
+pub use analysis::{
+    cycle_bounds, CriticalStep, CycleBounds, DepEdge, LatencyModel, ScheduleGraph,
+    CHAIN_LINT_MIN_LEN,
+};
+pub use diag::{AnalysisReport, Check, Diagnostic, Severity, ANALYSIS_SCHEMA_VERSION};
 pub use oracle::{differential_oracle, OracleFailure, OracleReport};
 pub use static_check::{analyze_instructions, analyze_program};

@@ -48,14 +48,16 @@ impl RegSet {
         self.0[i / 64] |= 1 << (i % 64);
     }
 
-    fn remove(&mut self, r: RegId) {
-        let i = r.index();
-        self.0[i / 64] &= !(1 << (i % 64));
-    }
-
     fn contains(self, r: RegId) -> bool {
         let i = r.index();
         self.0[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Removes every register in `other`.
+    fn subtract(&mut self, other: RegSet) {
+        for (a, b) in self.0.iter_mut().zip(other.0) {
+            *a &= !b;
+        }
     }
 
     /// Unions `other` in; returns whether anything changed.
@@ -170,6 +172,7 @@ pub fn analyze_instructions(instrs: &[Instruction], cfg: &MachineConfig) -> Anal
     check_group_legality(instrs, &group_starts, &mut report);
     check_dataflow(instrs, &group_starts, &mut report);
     check_resources(instrs, &group_starts, cfg, &mut report);
+    crate::analysis::check_schedule(instrs, cfg, &mut report);
 
     report.sort();
     report
@@ -243,15 +246,7 @@ fn check_group_legality(
     group_starts: &[bool],
     report: &mut AnalysisReport,
 ) {
-    // Pcs reachable via branches: complementarity established on the
-    // linear path cannot be assumed there.
-    let mut is_join = vec![false; instrs.len()];
-    for insn in instrs {
-        if let Opcode::Br { target } = insn.op {
-            is_join[target] = true;
-        }
-    }
-
+    let is_join = join_points(instrs);
     let mut comp = ComplementMap::new();
     // Writers in the currently open group: (reg, writer pc, writer qp).
     let mut writers: Vec<(RegId, usize, Option<PredReg>)> = Vec::new();
@@ -323,6 +318,92 @@ fn check_group_legality(
         }
         comp.update(insn, pc);
     }
+}
+
+/// Pcs reachable via branches, where linear-path facts (predicate
+/// complements, pending if-conversion pairs) can no longer be assumed.
+fn join_points(instrs: &[Instruction]) -> Vec<bool> {
+    let mut is_join = vec![false; instrs.len()];
+    for insn in instrs {
+        if let Opcode::Br { target } = insn.op {
+            if target < instrs.len() {
+                is_join[target] = true;
+            }
+        }
+    }
+    is_join
+}
+
+/// Per-pc kill sets for the backward liveness pass.
+///
+/// An unpredicated write kills its destinations outright. A lone
+/// predicated write kills nothing — when nullified, the old value
+/// survives. But the if-conversion diamond, two writes to one register
+/// guarded by the complementary `pt`/`pf` outputs of one compare,
+/// *jointly* kills: exactly one of the pair executes, so the value that
+/// reached the pair is dead below it. The joint kill is attributed to
+/// the *earlier* pair member (the value is only guaranteed overwritten
+/// once both have been passed), and only holds along straight-line
+/// flow: any intervening read of the register, unrelated write to it,
+/// control transfer, or join point cancels the pairing — the same
+/// disjointness discipline the intra-group WAW check applies.
+fn compute_kills(instrs: &[Instruction]) -> Vec<RegSet> {
+    let mut kills: Vec<RegSet> = instrs
+        .iter()
+        .map(|insn| {
+            let mut s = RegSet::EMPTY;
+            if insn.qp.is_none() {
+                for d in insn.dests() {
+                    s.insert(d);
+                }
+            }
+            s
+        })
+        .collect();
+
+    let is_join = join_points(instrs);
+    let mut comp = ComplementMap::new();
+    // Predicated writes awaiting a complementary partner:
+    // (writer pc, destination, qualifying predicate).
+    let mut pending: Vec<(usize, RegId, PredReg)> = Vec::new();
+    for (pc, insn) in instrs.iter().enumerate() {
+        if is_join[pc] {
+            comp.clear();
+            pending.clear();
+        }
+        // A read between the pair members may observe the old value
+        // (the first write may be nullified): the pair no longer kills.
+        for s in insn.sources() {
+            pending.retain(|&(_, d, _)| d != s);
+        }
+        match insn.qp {
+            None => {
+                for d in insn.dests() {
+                    pending.retain(|&(_, pd, _)| pd != d);
+                }
+            }
+            Some(a) => {
+                for d in insn.dests() {
+                    if let Some(i) =
+                        pending.iter().position(|&(_, pd, b)| pd == d && comp.complementary(a, b))
+                    {
+                        let (wpc, _, _) = pending.remove(i);
+                        kills[wpc].insert(d);
+                    } else {
+                        pending.retain(|&(_, pd, _)| pd != d);
+                        pending.push((pc, d, a));
+                    }
+                }
+            }
+        }
+        // Any control transfer breaks the straight-line guarantee that
+        // both pair members are passed.
+        if matches!(insn.op, Opcode::Br { .. } | Opcode::Halt) {
+            pending.clear();
+        }
+        comp.update(insn, pc);
+    }
+    kills
 }
 
 /// Reachability, may-reaching definitions (undefined reads), and
@@ -400,8 +481,11 @@ fn check_dataflow(instrs: &[Instruction], group_starts: &[bool], report: &mut An
 
     // --- Backward liveness: dead writes. ------------------------------
     // All registers are live at `halt`: the final register file is
-    // architecturally observable. A *predicated* write never kills (when
-    // nullified the old value survives), so it is transparent backwards.
+    // architecturally observable. Kill sets come from `compute_kills`:
+    // unpredicated writes kill, lone predicated writes do not (when
+    // nullified the old value survives), and complementary-predicate
+    // if-conversion pairs jointly kill at the earlier member.
+    let kills = compute_kills(instrs);
     let mut live_in = vec![RegSet::EMPTY; n];
     let mut changed = true;
     while changed {
@@ -420,11 +504,7 @@ fn check_dataflow(instrs: &[Instruction], group_starts: &[bool], report: &mut An
                 }
                 out
             };
-            if insn.qp.is_none() {
-                for d in insn.dests() {
-                    live.remove(d);
-                }
-            }
+            live.subtract(kills[pc]);
             for s in insn.sources() {
                 live.insert(s);
             }
@@ -484,21 +564,12 @@ fn check_resources(
         let len = end - pc + 1;
         let mut counts = [0usize; 4];
         for insn in &instrs[pc..=end] {
-            let i = match insn.op.fu_class() {
-                FuClass::Alu => 0,
-                FuClass::Mem => 1,
-                FuClass::Fp => 2,
-                FuClass::Branch => 3,
-            };
-            counts[i] += 1;
+            counts[insn.op.fu_class().index()] += 1;
         }
-        let slots = [
-            (counts[0], cfg.fu_slots.alu, "ALU"),
-            (counts[1], cfg.fu_slots.mem, "memory"),
-            (counts[2], cfg.fu_slots.fp, "FP"),
-            (counts[3], cfg.fu_slots.branch, "branch"),
-        ];
-        for (have, avail, label) in slots {
+        let avail_slots =
+            [cfg.fu_slots.alu, cfg.fu_slots.mem, cfg.fu_slots.fp, cfg.fu_slots.branch];
+        for fu in FuClass::ALL {
+            let (have, avail, label) = (counts[fu.index()], avail_slots[fu.index()], fu.label());
             if have > avail {
                 report.diagnostics.push(Diagnostic::at(
                     Check::FuOversubscribed,

@@ -6,7 +6,7 @@
 use ff_core::MachineConfig;
 use ff_isa::reg::{IntReg, PredReg};
 use ff_isa::{CmpKind, Instruction, Opcode};
-use ff_verify::{analyze_instructions, Check, Severity};
+use ff_verify::{analyze_instructions, analyze_program, Check, Severity};
 
 fn cfg() -> MachineConfig {
     MachineConfig::paper_table1()
@@ -175,4 +175,81 @@ fn clean_fixture_raises_nothing() {
     ];
     let rep = analyze_instructions(&instrs, &cfg());
     assert!(rep.diagnostics.is_empty(), "{:?}", rep.diagnostics);
+}
+
+fn cmp(pt: u8, pf: u8, a: u8) -> Instruction {
+    Instruction::new(Opcode::Cmp { kind: CmpKind::Lt, pt: p(pt), pf: p(pf), a: r(a), b: r(a) })
+}
+
+fn pred_movi(qp: u8, d: u8, imm: i64) -> Instruction {
+    let mut insn = movi(d, imm);
+    insn.qp = Some(p(qp));
+    insn
+}
+
+fn st8(src: u8, base: u8) -> Instruction {
+    Instruction::new(Opcode::St { src: r(src), base: r(base), off: 0, size: ff_isa::MemSize::B8 })
+}
+
+#[test]
+fn load_use_fixture_trips_the_placement_lint() {
+    let program = ff_workloads::fixtures::load_use_hazard();
+    let rep = analyze_program(&program, &cfg());
+    assert!(rep.has(Check::LoadUse), "{:?}", rep.diagnostics);
+    assert!(rep.is_legal(), "lint fixtures stay legal: {:?}", rep.diagnostics);
+}
+
+#[test]
+fn chain_fixture_trips_the_chaining_lint() {
+    let program = ff_workloads::fixtures::serial_alu_chain();
+    let rep = analyze_program(&program, &cfg());
+    assert!(rep.has(Check::ChainOpportunity), "{:?}", rep.diagnostics);
+    assert!(rep.is_legal(), "lint fixtures stay legal: {:?}", rep.diagnostics);
+}
+
+#[test]
+fn complementary_pair_kills_the_earlier_write_but_not_itself() {
+    // (p1)/(p2) arms jointly overwrite r3 on every path: the pre-diamond
+    // definition is dead, the arms themselves are not.
+    let program = ff_workloads::fixtures::complementary_overwrite();
+    let rep = analyze_program(&program, &cfg());
+    assert!(rep.is_legal(), "{:?}", rep.diagnostics);
+    let dead: Vec<Option<usize>> =
+        rep.diagnostics.iter().filter(|d| d.check == Check::DeadWrite).map(|d| d.pc).collect();
+    assert_eq!(dead, vec![Some(2)], "only the pre-diamond movi is dead: {:?}", rep.diagnostics);
+}
+
+#[test]
+fn lone_predicated_write_does_not_kill() {
+    // With only the (p1) arm, the original value of r3 survives the
+    // p1-false path to the store: nothing here is a dead write.
+    let instrs = vec![
+        movi(1, 0x4000),
+        movi(3, 99).with_stop(),
+        cmp(1, 2, 1).with_stop(),
+        pred_movi(1, 3, 7).with_stop(),
+        st8(3, 1).with_stop(),
+        halt(),
+    ];
+    let rep = analyze_instructions(&instrs, &cfg());
+    assert!(!rep.has(Check::DeadWrite), "{:?}", rep.diagnostics);
+}
+
+#[test]
+fn intervening_read_cancels_the_complementary_pair() {
+    // A read of r3 *between* the two arms means the first arm's value is
+    // consumed: the pair must not jointly kill the pre-split write, and
+    // nothing is dead.
+    let instrs = vec![
+        movi(1, 0x4000),
+        movi(3, 99).with_stop(),
+        cmp(1, 2, 1).with_stop(),
+        pred_movi(1, 3, 7).with_stop(),
+        st8(3, 1).with_stop(), // reads r3 before the (p2) arm
+        pred_movi(2, 3, 8).with_stop(),
+        st8(3, 1).with_stop(),
+        halt(),
+    ];
+    let rep = analyze_instructions(&instrs, &cfg());
+    assert!(!rep.has(Check::DeadWrite), "{:?}", rep.diagnostics);
 }

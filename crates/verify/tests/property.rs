@@ -90,3 +90,42 @@ fn generator_regressions_stay_fixed() {
         );
     }
 }
+
+/// Soundness of the static cycle lower bounds on arbitrary generator
+/// output: across 100 random programs, neither the dependence-height
+/// bound nor the resource bound ever exceeds the measured cycle count
+/// of any pipeline model.
+#[test]
+fn bounds_hold_on_100_random_programs() {
+    use ff_core::{Baseline, Runahead, TwoPass};
+    use ff_verify::cycle_bounds;
+
+    let gen_cfg = GeneratorConfig::default();
+    let cfg = cfg();
+    for seed in 0..100 {
+        let (program, mem) = random_program(seed, &gen_cfg);
+        let b = cycle_bounds(&program, &mem, &cfg, BUDGET);
+        assert!(b.halted, "seed {seed} did not halt in budget");
+        let bound = b.lower_bound();
+
+        let mut measured: Vec<(&str, u64)> = Vec::new();
+        measured
+            .push(("Base", Baseline::new(&program, mem.clone(), cfg.clone()).run(BUDGET).cycles));
+        for (label, regroup) in [("2P", false), ("2Pre", true)] {
+            let mut c = cfg.clone();
+            c.two_pass.regroup = regroup;
+            measured.push((label, TwoPass::new(&program, mem.clone(), c).run(BUDGET).cycles));
+        }
+        measured.push(("Ra", Runahead::new(&program, mem.clone(), cfg.clone()).run(BUDGET).cycles));
+
+        for (model, cycles) in measured {
+            assert!(
+                bound <= cycles,
+                "seed {seed} {model}: lower bound {bound} (dep {} / res {}) exceeds \
+                 measured {cycles} — unsound",
+                b.dep_height_all_hit,
+                b.resource_bound()
+            );
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Hand-written negative fixtures for the schedule-quality lints and
+//! the predicate-aware dead-write analysis.
+//!
+//! Each fixture is a minimal *legal* program engineered to trip (or,
+//! for [`complementary_overwrite`], to exonerate) exactly one analysis
+//! in `ff-verify`. They live here rather than in the verifier's test
+//! tree so the `ff_verify` CLI, the property tests, and any future
+//! scheduler work share one corpus, built with the same
+//! [`ProgramBuilder`] discipline as the paper kernels.
+
+use ff_isa::reg::{FpReg, IntReg, PredReg};
+use ff_isa::{CmpKind, Program, ProgramBuilder};
+
+/// A load whose consumer sits in the very next issue group — inside
+/// even the L1-hit shadow — while two independent trailing groups give
+/// it ample room to move later. Trips `schedule/load-use`
+/// (SSR's statically checkable load-use placement property).
+#[must_use]
+pub fn load_use_hazard() -> Program {
+    let r = IntReg::n;
+    let f = FpReg::n;
+    let mut b = ProgramBuilder::new();
+    b.movi(r(1), 0x4000);
+    b.stop();
+    b.ldf(f(1), r(1), 0);
+    b.stop();
+    // Consumer one group after the load: even an L1 hit stalls it.
+    b.fmul(f(2), f(1), f(1));
+    b.stop();
+    // Independent tail the consumer could have been scheduled past: by
+    // the time the store needs the product, the multiply had room to
+    // start well after the load delivered.
+    for i in 2..7 {
+        b.movi(r(i), i64::from(i));
+        b.stop();
+    }
+    b.stf(f(2), r(1), 8);
+    b.stop();
+    b.halt();
+    b.build().expect("load-use fixture is well-formed")
+}
+
+/// A serial chain of dependent single-cycle ALU operations long enough
+/// to clear `CHAIN_LINT_MIN_LEN`. Trips `schedule/chain-opportunity`
+/// (a chained/fused ALU or re-association would shorten the height).
+#[must_use]
+pub fn serial_alu_chain() -> Program {
+    let r = IntReg::n;
+    let mut b = ProgramBuilder::new();
+    b.movi(r(1), 1);
+    b.stop();
+    for _ in 0..12 {
+        b.addi(r(1), r(1), 3);
+        b.stop();
+    }
+    b.st8(r(1), r(1), 0);
+    b.stop();
+    b.halt();
+    b.build().expect("chain fixture is well-formed")
+}
+
+/// An if-converted diamond whose arms overwrite `r3` under
+/// complementary predicates, preceded by a now-dead unconditional
+/// definition of `r3`.
+///
+/// The dead-write analysis must treat the `(p1)`/`(p2)` pair as
+/// *jointly* killing: the pre-diamond `movi` is a true dead write
+/// (flagged), while neither arm is (each is read by the store on its
+/// own path).
+#[must_use]
+pub fn complementary_overwrite() -> Program {
+    let r = IntReg::n;
+    let p = PredReg::n;
+    let mut b = ProgramBuilder::new();
+    b.movi(r(1), 0x4000);
+    b.movi(r(2), 7);
+    b.movi(r(3), 99); // dead: both diamond arms overwrite r3
+    b.stop();
+    b.cmpi(CmpKind::Lt, p(1), p(2), r(2), 10);
+    b.stop();
+    b.with_pred(p(1)).movi(r(3), 1);
+    b.with_pred(p(2)).movi(r(3), 2);
+    b.stop();
+    b.st8(r(3), r(1), 0);
+    b.stop();
+    b.halt();
+    b.build().expect("complementary-overwrite fixture is well-formed")
+}

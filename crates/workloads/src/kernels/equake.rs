@@ -39,14 +39,17 @@ pub fn equake_like(iters: u64) -> Workload {
     // every stencil multiply below must defer (Figure 8's subject).
     b.ldf(excit, param, 0);
     b.stop();
-    b.fmul(excit, excit, excit);
-    b.stop();
+    // The pointer inits are load-independent, so they fill the load-use
+    // shadow; squaring the coefficient after them gives the `ldf` two
+    // full groups to deliver even on an L1 hit.
     b.movi(pa, A_BASE as i64);
     b.movi(pb, B_BASE as i64);
     b.movi(pc, C_BASE as i64);
     b.stop();
     b.movi(po, OUT_BASE as i64);
     b.movi(cnt, 0);
+    b.stop();
+    b.fmul(excit, excit, excit);
     b.stop();
     let top = b.here();
     // Group 1: three stream loads (exactly the 3 memory slots).

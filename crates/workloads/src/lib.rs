@@ -33,6 +33,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod common;
+pub mod fixtures;
 pub mod kernels;
 pub mod random;
 pub mod synth;

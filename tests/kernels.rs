@@ -101,10 +101,10 @@ const GOLDEN_TINY: &[(&str, &str, u64, u64, [u64; 6])] = &[
     ("mcf-like", "2P", 17987, 726, [664, 17312, 0, 0, 11, 0]),
     ("mcf-like", "2Pre", 17807, 726, [422, 17374, 0, 0, 11, 0]),
     ("mcf-like", "Ra", 3208, 726, [664, 2448, 0, 0, 96, 0]),
-    ("equake-like", "Base", 2797, 1629, [1146, 1281, 300, 0, 70, 0]),
+    ("equake-like", "Base", 2795, 1629, [1146, 1271, 300, 0, 78, 0]),
     ("equake-like", "2P", 2176, 1629, [1146, 855, 164, 0, 11, 0]),
     ("equake-like", "2Pre", 2060, 1629, [664, 1048, 337, 0, 11, 0]),
-    ("equake-like", "Ra", 2676, 1629, [1146, 1151, 300, 0, 79, 0]),
+    ("equake-like", "Ra", 2676, 1629, [1146, 1143, 300, 0, 87, 0]),
     ("parser-like", "Base", 33652, 1594, [1591, 31610, 0, 0, 451, 0]),
     ("parser-like", "2P", 19727, 1594, [1591, 17927, 0, 0, 192, 17]),
     ("parser-like", "2Pre", 19250, 1594, [981, 18059, 0, 0, 193, 17]),
